@@ -1,0 +1,516 @@
+(* Gaea reproduction benchmark harness.
+
+   The paper (VLDB 1993) contains no quantitative evaluation — its five
+   figures are architectural.  This harness therefore (a) regenerates an
+   executable artifact for every figure and (b) measures the mechanism
+   experiments E1–E6 defined in DESIGN.md, printing the series that
+   EXPERIMENTS.md records.  One Bechamel Test.make exists per experiment
+   (micro timing of its kernel operation); the macro sweeps print their
+   own tables.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+module Kernel = Gaea_core.Kernel
+module Figures = Gaea_core.Figures
+module Derivation = Gaea_core.Derivation
+module Lineage = Gaea_core.Lineage
+module Filebased = Gaea_core.Filebased
+module Value = Gaea_adt.Value
+module Registry = Gaea_adt.Registry
+module Dataflow = Gaea_adt.Dataflow
+module Net = Gaea_petri.Net
+module Marking = Gaea_petri.Marking
+module Backchain = Gaea_petri.Backchain
+module Reachability = Gaea_petri.Reachability
+module R = Gaea_raster
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith ("bench setup: " ^ e)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let time_once f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let time_avg ?(repeats = 3) f =
+  let total = ref 0. in
+  let result = ref None in
+  for _ = 1 to repeats do
+    let r, dt = time_once f in
+    result := Some r;
+    total := !total +. dt
+  done;
+  (Option.get !result, !total /. float_of_int repeats)
+
+(* ------------------------------------------------------------------ *)
+(* Figure artifacts                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig1_architecture () =
+  section "Fig 1 artifact: one query through every architecture layer";
+  (* parser -> optimizer -> executor -> metadata manager -> storage *)
+  let session = Gaea_query.Session.create () in
+  let script =
+    {|
+DEFINE CLASS rainfall (data image, spatialextent box, timestamp abstime);
+DEFINE CLASS desert (cutoff float, data image, spatialextent box, timestamp abstime)
+  DERIVED BY desert-250;
+DEFINE PROCESS desert-250 OUTPUT desert ARGS (rain rainfall)
+  PARAM cutoff = 250.0
+  MAP cutoff = $cutoff
+  MAP data = img_threshold_below(rain.data, $cutoff)
+  MAP spatialextent = rain.spatialextent
+  MAP timestamp = rain.timestamp
+END;
+INSERT INTO rainfall (data = synth_rainfall(1, 32, 32),
+  spatialextent = make_box(0.0,0.0,10.0,10.0), timestamp = make_abstime(1986,1,1));
+DERIVE desert;
+SELECT cutoff FROM desert
+|}
+  in
+  match Gaea_query.Session.run_string session script with
+  | Ok responses ->
+    Printf.printf
+      "parsed, planned and executed %d statements (DDL, process DDL, \
+       ingest, derivation, retrieval): OK\n"
+      (List.length responses)
+  | Error e -> Printf.printf "FAILED: %s\n" e
+
+let fig2_layers () =
+  section "Fig 2 artifact: the three semantic layers";
+  let k, build_time =
+    time_once (fun () ->
+        let k = Kernel.create () in
+        ok (Figures.install_all k);
+        k)
+  in
+  let concepts = Gaea_core.Concept.all (Kernel.concepts k) in
+  let isa_edges =
+    List.fold_left
+      (fun acc c ->
+        acc
+        + List.length
+            (Gaea_core.Concept.parents (Kernel.concepts k)
+               c.Gaea_core.Concept.name))
+      0 concepts
+  in
+  Printf.printf
+    "high level:   %d concepts, %d ISA edges\n\
+     derivation:   %d classes, %d processes\n\
+     system level: %d primitive classes, %d operators\n\
+     schema build time: %.1f ms\n"
+    (List.length concepts) isa_edges
+    (List.length (Kernel.classes k))
+    (List.length (Kernel.processes k))
+    (List.length (Registry.all_classes (Kernel.registry k)))
+    (Registry.operator_count (Kernel.registry k))
+    (build_time *. 1000.)
+
+let fig4_network () =
+  section "Fig 4 artifact: the PCA compound-operator dataflow network";
+  let k = Kernel.create () in
+  match Registry.find_compound (Kernel.registry k) "pca" with
+  | Some net -> print_endline (Dataflow.describe net)
+  | None -> print_endline "pca network missing!"
+
+(* ------------------------------------------------------------------ *)
+(* E1: Gaea vs file-based GIS workflow                                 *)
+(* ------------------------------------------------------------------ *)
+
+let e1_gaea_vs_filebased () =
+  section "E1: Gaea vs file-based GIS (IDRISI/GRASS baseline)";
+  Printf.printf
+    "workload: s scientists each need the same NDVI-change product \
+     (64x64 pixels)\n\n";
+  Printf.printf "%-12s %-24s %-20s %s\n" "scientists"
+    "file-based computations" "gaea process runs" "recomputation factor";
+  List.iter
+    (fun n_scientists ->
+      (* file-based: each scientist reruns the 3-step pipeline because a
+         colleague's file names carry no derivation metadata *)
+      let fb = Filebased.create () in
+      let red, nir = R.Synthetic.red_nir_pair ~seed:1 ~nrow:64 ~ncol:64 () in
+      Filebased.save fb ~name:"red88" red;
+      Filebased.save fb ~name:"nir88" nir;
+      let red89, nir89 =
+        R.Synthetic.red_nir_pair ~seed:1 ~nrow:64 ~ncol:64
+          ~vegetation_shift:0.2 ()
+      in
+      Filebased.save fb ~name:"red89" red89;
+      Filebased.save fb ~name:"nir89" nir89;
+      for s = 1 to n_scientists do
+        let who = Printf.sprintf "scientist%d" s in
+        let ndvi = function
+          | [ r; n ] -> R.Ndvi.ndvi ~red:r ~nir:n ()
+          | _ -> assert false
+        in
+        ignore
+          (Filebased.run_analysis fb ~scientist:who ~output:"ndvi88"
+             ~inputs:[ "red88"; "nir88" ] ndvi);
+        ignore
+          (Filebased.run_analysis fb ~scientist:who ~output:"ndvi89"
+             ~inputs:[ "red89"; "nir89" ] ndvi);
+        ignore
+          (Filebased.run_analysis fb ~scientist:who ~output:"change"
+             ~inputs:[ "ndvi89"; "ndvi88" ]
+             (function
+               | [ a; b ] -> R.Band_math.subtract a b
+               | _ -> assert false))
+      done;
+      let fb_runs = (Filebased.stats fb).Filebased.computations in
+      (* gaea: first request derives, every later request retrieves *)
+      let k = Kernel.create () in
+      ok (Figures.install_vegetation k);
+      let _ = ok (Figures.load_avhrr_year k ~seed:1 ~year:1988 ()) in
+      let _ =
+        ok (Figures.load_avhrr_year k ~seed:1 ~year:1989 ~vegetation_shift:0.2 ())
+      in
+      for _ = 1 to n_scientists do
+        match Kernel.objects_of_class k Figures.veg_change_class with
+        | [] ->
+          let _ = ok (Derivation.request ~need:2 k Figures.ndvi_class) in
+          let p = Option.get (Kernel.find_process k Figures.p_change_sub) in
+          let binding =
+            ok
+              (Kernel.find_binding k p
+                 ~available:
+                   [ ( Figures.ndvi_class,
+                       Kernel.objects_of_class k Figures.ndvi_class ) ])
+          in
+          ignore (ok (Kernel.execute_process k p ~inputs:binding))
+        | _ :: _ ->
+          (Kernel.counters k).Kernel.retrievals <-
+            (Kernel.counters k).Kernel.retrievals + 1
+      done;
+      let gaea_runs = (Kernel.counters k).Kernel.executions in
+      Printf.printf "%-12d %-24d %-20d %.1fx\n" n_scientists fb_runs gaea_runs
+        (float_of_int fb_runs /. float_of_int gaea_runs))
+    [ 1; 2; 4; 8; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* E2: retrieval vs interpolation vs derivation                        *)
+(* ------------------------------------------------------------------ *)
+
+let e2_crossover () =
+  section "E2: query answering — retrieval vs interpolation vs derivation";
+  Printf.printf "%-8s %-16s %-18s %-16s\n" "size" "retrieve (ms)"
+    "interpolate (ms)" "derive P20 (ms)";
+  List.iter
+    (fun n ->
+      (* derivation cost: P20 on n x n *)
+      let k = Kernel.create () in
+      ok (Figures.install_fig3 k);
+      let _ = ok (Figures.load_tm_bands k ~seed:3 ~nrow:n ~ncol:n ()) in
+      let _, derive_t =
+        time_once (fun () -> ok (Derivation.request k Figures.land_cover_class))
+      in
+      (* retrieval cost: ask again *)
+      let _, retrieve_t =
+        time_avg (fun () -> ok (Derivation.request k Figures.land_cover_class))
+      in
+      (* interpolation cost: two land-cover snapshots, mid-point query *)
+      let k2 = Kernel.create () in
+      ok (Figures.install_fig3 k2);
+      let insert day seed =
+        let extent =
+          Gaea_geo.Extent.make
+            (Gaea_geo.Box.make ~xmin:0. ~ymin:0. ~xmax:10. ~ymax:10.)
+            (Gaea_geo.Interval.instant (Gaea_geo.Abstime.of_ymd 1986 1 day))
+        in
+        ignore (ok (Figures.load_tm_bands k2 ~seed ~nrow:n ~ncol:n ~extent ()))
+      in
+      insert 1 10;
+      insert 21 11;
+      let _ = ok (Derivation.request ~need:2 k2 Figures.land_cover_class) in
+      let _, interp_t =
+        time_once (fun () ->
+            ok
+              (Derivation.request_at k2 ~cls:Figures.land_cover_class
+                 ~at:(Gaea_geo.Abstime.of_ymd 1986 1 11) ()))
+      in
+      Printf.printf "%-8s %-16.3f %-18.3f %-16.1f\n"
+        (Printf.sprintf "%dx%d" n n)
+        (retrieve_t *. 1000.) (interp_t *. 1000.) (derive_t *. 1000.))
+    [ 32; 64; 96 ];
+  print_endline
+    "(expected shape: retrieval ~constant; interpolation linear in pixels;\n\
+    \ derivation dominated by classification — the paper's priority order\n\
+    \ 'retrieve, then interpolate, then derive' is also the cost order)"
+
+(* ------------------------------------------------------------------ *)
+(* E3: Fig 3 / P20 task execution sweep                                *)
+(* ------------------------------------------------------------------ *)
+
+let e3_p20_scaling () =
+  section "E3 (Fig 3): unsupervised-classification task execution";
+  Printf.printf "%-10s %-8s %-14s %-14s %s\n" "image" "k" "time (ms)"
+    "Mpixel/s" "reproducible";
+  List.iter
+    (fun n ->
+      let k = Kernel.create () in
+      ok (Figures.install_fig3 k);
+      let _ = ok (Figures.load_tm_bands k ~seed:7 ~nrow:n ~ncol:n ()) in
+      let outcome, dt =
+        time_once (fun () -> ok (Derivation.request k Figures.land_cover_class))
+      in
+      let oid = List.hd outcome.Derivation.objects in
+      let reproducible = ok (Lineage.verify_object k oid) in
+      let mpix = float_of_int (n * n * 3) /. dt /. 1e6 in
+      Printf.printf "%-10s %-8d %-14.1f %-14.2f %b\n"
+        (Printf.sprintf "%dx%d" n n)
+        12 (dt *. 1000.) mpix reproducible)
+    [ 32; 64; 128 ]
+
+(* ------------------------------------------------------------------ *)
+(* E4: Fig 4 PCA network                                               *)
+(* ------------------------------------------------------------------ *)
+
+let e4_pca () =
+  section "E4 (Fig 4): PCA compound-operator network vs native, and SPCA";
+  let reg = Registry.with_builtins () in
+  Printf.printf "%-8s %-8s %-16s %-16s %-12s %s\n" "bands" "size"
+    "network (ms)" "native (ms)" "overhead" "max rms diff";
+  List.iter
+    (fun (b, n) ->
+      let scene = R.Synthetic.landsat_scene ~seed:5 ~nrow:n ~ncol:n ~bands:b () in
+      let c = Value.composite scene.R.Synthetic.composite in
+      let args = [ c; Value.int 2 ] in
+      let net_result, net_t = time_avg (fun () -> Registry.apply reg "pca" args) in
+      let native_result, native_t =
+        time_avg (fun () -> Registry.apply reg "pca_native" args)
+      in
+      let diff =
+        match net_result, native_result with
+        | Ok (Value.VComposite x), Ok (Value.VComposite y) ->
+          List.fold_left2
+            (fun acc a b -> Float.max acc (R.Imgstats.rmse a b))
+            0. (R.Composite.bands x) (R.Composite.bands y)
+        | _ -> Float.nan
+      in
+      Printf.printf "%-8d %-8s %-16.2f %-16.2f %-12.2f %.2e\n" b
+        (Printf.sprintf "%dx%d" n n)
+        (net_t *. 1000.) (native_t *. 1000.)
+        (net_t /. native_t) diff)
+    [ (2, 32); (3, 64); (6, 64) ];
+  print_endline
+    "(the dataflow network and the native implementation agree to float\n\
+    \ round-off; interpretation overhead of the compound operator is small)"
+
+(* ------------------------------------------------------------------ *)
+(* E5: Petri backward chaining scale                                   *)
+(* ------------------------------------------------------------------ *)
+
+let build_chain_net ~depth ~fan_in =
+  (* a derivation chain of [depth] stages; each stage's transition needs
+     [fan_in] tokens of the previous class *)
+  let net = Net.create () in
+  let places =
+    Array.init (depth + 1) (fun i ->
+        Net.add_place net ~name:(Printf.sprintf "c%d" i))
+  in
+  for d = 0 to depth - 1 do
+    ignore
+      (Result.get_ok
+         (Net.add_transition net
+            ~name:(Printf.sprintf "p%d" d)
+            ~inputs:[ (places.(d), fan_in) ]
+            ~outputs:[ places.(d + 1) ]
+            ()))
+  done;
+  let marking = ref Marking.empty in
+  for tok = 1 to (fan_in * fan_in) + 2 do
+    marking := Marking.add !marking places.(0) tok
+  done;
+  (net, !marking, places.(depth))
+
+let e5_backchain () =
+  section "E5: backward chaining over the derivation net";
+  Printf.printf "%-8s %-8s %-14s %-12s %-12s %s\n" "depth" "fan-in"
+    "plan (µs)" "plan cost" "plan depth" "reach (µs)";
+  List.iter
+    (fun (depth, fan_in) ->
+      let net, marking, goal = build_chain_net ~depth ~fan_in in
+      let plan, plan_t =
+        time_avg ~repeats:5 (fun () -> Backchain.search net marking goal)
+      in
+      let _, reach_t =
+        time_avg ~repeats:5 (fun () -> Reachability.analyze net marking)
+      in
+      match plan with
+      | Some p ->
+        Printf.printf "%-8d %-8d %-14.1f %-12d %-12d %.1f\n" depth fan_in
+          (plan_t *. 1e6) (Backchain.cost p) (Backchain.depth p)
+          (reach_t *. 1e6)
+      | None -> Printf.printf "%-8d %-8d no plan!\n" depth fan_in)
+    [ (1, 1); (2, 1); (4, 1); (8, 1); (16, 1); (32, 1); (64, 1);
+      (4, 2); (8, 2); (4, 3) ];
+  (* wide nets: many classes, only one chain relevant to the goal *)
+  Printf.printf "\n%-12s %-14s %s\n" "classes" "plan (µs)" "reach (µs)";
+  List.iter
+    (fun width ->
+      let net = Net.create () in
+      let base = Net.add_place net ~name:"base" in
+      let goal = Net.add_place net ~name:"goal" in
+      for i = 0 to width - 3 do
+        let p = Net.add_place net ~name:(Printf.sprintf "x%d" i) in
+        ignore
+          (Result.get_ok
+             (Net.add_transition net
+                ~name:(Printf.sprintf "tx%d" i)
+                ~inputs:[ (base, 1) ] ~outputs:[ p ] ()))
+      done;
+      ignore
+        (Result.get_ok
+           (Net.add_transition net ~name:"tg" ~inputs:[ (base, 1) ]
+              ~outputs:[ goal ] ()));
+      let marking = Marking.of_list [ (base, [ 1 ]) ] in
+      let _, plan_t =
+        time_avg ~repeats:5 (fun () -> Backchain.search net marking goal)
+      in
+      let _, reach_t =
+        time_avg ~repeats:5 (fun () -> Reachability.analyze net marking)
+      in
+      Printf.printf "%-12d %-14.1f %.1f\n" width (plan_t *. 1e6)
+        (reach_t *. 1e6))
+    [ 10; 100; 1000 ]
+
+(* ------------------------------------------------------------------ *)
+(* E6: Fig 5 compound process + reproducibility                        *)
+(* ------------------------------------------------------------------ *)
+
+let e6_fig5 () =
+  section "E6 (Fig 5): compound land-change-detection + exact reproducibility";
+  let k = Kernel.create () in
+  ok (Figures.install_fig3 k);
+  ok (Figures.install_fig5 k);
+  let _ = ok (Figures.load_tm_bands k ~seed:1986 ~nrow:64 ~ncol:64 ()) in
+  let _ = ok (Figures.load_tm_bands k ~seed:1989 ~nrow:64 ~ncol:64 ()) in
+  let outcome, dt =
+    time_once (fun () ->
+        ok (Derivation.request k Figures.land_cover_changes_class))
+  in
+  Printf.printf
+    "derived %s through %d task(s) in %.1f ms (compound expanded to its \
+     primitive steps)\n"
+    Figures.land_cover_changes_class
+    (List.length outcome.Derivation.new_tasks)
+    (dt *. 1000.);
+  let tasks = Kernel.tasks k in
+  let reproduced = List.filter (fun t -> ok (Lineage.verify_task k t)) tasks in
+  Printf.printf "reproducibility: %d/%d tasks recompute bit-identically\n"
+    (List.length reproduced) (List.length tasks);
+  let result = List.hd outcome.Derivation.objects in
+  Printf.printf "base inputs of the result: %d TM band objects\n"
+    (List.length (Lineage.base_inputs k result))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks (one Test.make per experiment)            *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  (* E1 kernel op: a retrieval hit (the thing Gaea saves) *)
+  let k1 = Kernel.create () in
+  ok (Figures.install_fig3 k1);
+  let _ = ok (Figures.load_tm_bands k1 ~seed:3 ~nrow:32 ~ncol:32 ()) in
+  let _ = ok (Derivation.request k1 Figures.land_cover_class) in
+  let t_e1 =
+    Test.make ~name:"e1-retrieval-hit"
+      (Staged.stage (fun () ->
+           ok (Derivation.request k1 Figures.land_cover_class)))
+  in
+  (* E2: interpolation of a 32x32 image pair *)
+  let img1 = R.Synthetic.value_noise ~seed:1 ~nrow:32 ~ncol:32 () in
+  let img2 = R.Synthetic.value_noise ~seed:2 ~nrow:32 ~ncol:32 () in
+  let t1 = Gaea_geo.Abstime.of_ymd 1986 1 1 in
+  let t2 = Gaea_geo.Abstime.of_ymd 1986 2 1 in
+  let at = Gaea_geo.Abstime.of_ymd 1986 1 16 in
+  let t_e2 =
+    Test.make ~name:"e2-interpolate-32x32"
+      (Staged.stage (fun () ->
+           R.Interpolate.temporal_linear ~at (t1, img1) (t2, img2)))
+  in
+  (* E3: unsuperclassify 32x32x3, k=12 *)
+  let scene = R.Synthetic.landsat_scene ~seed:7 ~nrow:32 ~ncol:32 () in
+  let t_e3 =
+    Test.make ~name:"e3-unsuperclassify-32x32"
+      (Staged.stage (fun () ->
+           R.Kmeans.unsuperclassify scene.R.Synthetic.composite 12))
+  in
+  (* E4: the pca compound network on 32x32x3 *)
+  let reg = Registry.with_builtins () in
+  let pca_args = [ Value.composite scene.R.Synthetic.composite; Value.int 2 ] in
+  let t_e4 =
+    Test.make ~name:"e4-pca-network-32x32"
+      (Staged.stage (fun () -> Registry.apply reg "pca" pca_args))
+  in
+  (* E5: backchain plan on a depth-8 chain *)
+  let net, marking, goal = build_chain_net ~depth:8 ~fan_in:1 in
+  let t_e5 =
+    Test.make ~name:"e5-backchain-depth8"
+      (Staged.stage (fun () -> Backchain.search net marking goal))
+  in
+  (* E6: recompute a recorded task (the reproducibility primitive) *)
+  let k6 = Kernel.create () in
+  ok (Figures.install_fig3 k6);
+  let _ = ok (Figures.load_tm_bands k6 ~seed:3 ~nrow:16 ~ncol:16 ()) in
+  let outcome6 = ok (Derivation.request k6 Figures.land_cover_class) in
+  let task6 = List.hd outcome6.Derivation.new_tasks in
+  let t_e6 =
+    Test.make ~name:"e6-recompute-task-16x16"
+      (Staged.stage (fun () -> ok (Kernel.recompute_task k6 task6)))
+  in
+  [ t_e1; t_e2; t_e3; t_e4; t_e5; t_e6 ]
+
+let run_bechamel () =
+  section "Bechamel micro-benchmarks (ns per run, OLS on monotonic clock)";
+  let tests = micro_tests () in
+  let grouped = Test.make_grouped ~name:"gaea" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> (name, est) :: acc
+        | _ -> acc)
+      results []
+    |> List.sort compare
+  in
+  Printf.printf "%-32s %16s %14s\n" "benchmark" "ns/run" "ms/run";
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-32s %16.0f %14.3f\n" name ns (ns /. 1e6))
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  print_endline
+    "Gaea derived-data management: benchmark and figure-reproduction harness";
+  print_endline
+    "(paper: Hachem, Qiu, Gennert, Ward — Managing Derived Data in the \
+     Gaea Scientific DBMS, VLDB 1993)";
+  fig1_architecture ();
+  fig2_layers ();
+  fig4_network ();
+  e1_gaea_vs_filebased ();
+  e2_crossover ();
+  e3_p20_scaling ();
+  e4_pca ();
+  e5_backchain ();
+  e6_fig5 ();
+  run_bechamel ();
+  print_endline "\nall experiments completed."

@@ -1,0 +1,68 @@
+(* A tour of GaeaQL, the query language of the Fig 1 interpreter:
+   DDL for classes / processes / concepts, ingestion, derivation,
+   spatio-temporal SELECTs, lineage, verification and experiments.
+
+   Run with: dune exec examples/query_tour.exe *)
+
+let script = {|
+-- the derivation layer: a rainfall class and two desert processes
+DEFINE CLASS rainfall (data image, spatialextent box, timestamp abstime);
+DEFINE CLASS desert (cutoff float, data image, spatialextent box, timestamp abstime)
+  DERIVED BY desert-250;
+
+DEFINE PROCESS desert-250 OUTPUT desert ARGS (rain rainfall)
+  PARAM cutoff = 250.0
+  MAP cutoff = $cutoff
+  MAP data = img_threshold_below(rain.data, $cutoff)
+  MAP spatialextent = rain.spatialextent
+  MAP timestamp = rain.timestamp
+END;
+
+-- a second scientist prefers 200 mm: same method, different parameter,
+-- therefore a different process (Section 2.1.2)
+DEFINE PROCESS desert-200 OUTPUT desert ARGS (rain rainfall)
+  PARAM cutoff = 200.0
+  MAP cutoff = $cutoff
+  MAP data = img_threshold_below(rain.data, $cutoff)
+  MAP spatialextent = rain.spatialextent
+  MAP timestamp = rain.timestamp
+END;
+
+-- the high-level layer: the concept both scientists share
+DEFINE CONCEPT desertic_region MEMBERS (desert);
+
+-- base data for three years
+INSERT INTO rainfall (data = synth_rainfall(1, 32, 32),
+  spatialextent = make_box(0.0, 0.0, 20.0, 15.0),
+  timestamp = make_abstime(1986, 1, 1));
+INSERT INTO rainfall (data = synth_rainfall(2, 32, 32),
+  spatialextent = make_box(0.0, 0.0, 20.0, 15.0),
+  timestamp = make_abstime(1987, 1, 1));
+INSERT INTO rainfall (data = synth_rainfall(3, 32, 32),
+  spatialextent = make_box(0.0, 0.0, 20.0, 15.0),
+  timestamp = make_abstime(1988, 1, 1));
+
+BEGIN EXPERIMENT sahel_deserts;
+DERIVE desert;
+NOTE sahel_deserts 'first desert mask derived with the 250mm cutoff';
+
+-- spatio-temporal retrieval
+SELECT cutoff, timestamp FROM desert WHERE cutoff >= 200.0;
+SELECT timestamp FROM rainfall WHERE timestamp AT DATE '1987-01-01';
+SELECT timestamp FROM rainfall WHERE spatialextent OVERLAPS BOX(5.0, 5.0, 6.0, 6.0)
+  ORDER BY timestamp DESC LIMIT 2;
+
+-- querying through the concept reaches the member classes
+SELECT cutoff FROM desertic_region;
+
+-- metadata introspection
+SHOW PLAN desert;
+SHOW VERSIONS OF desert-250;
+SHOW TASKS;
+VERIFY TASK 1;
+REPRODUCE sahel_deserts
+|}
+
+let () =
+  let session = Gaea_query.Session.create () in
+  print_endline (Gaea_query.Session.run_string_collect session script)

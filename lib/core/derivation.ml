@@ -1,0 +1,387 @@
+module Value = Gaea_adt.Value
+module Vtype = Gaea_adt.Vtype
+module Oid = Gaea_storage.Oid
+module Abstime = Gaea_geo.Abstime
+module Marking = Gaea_petri.Marking
+module Backchain = Gaea_petri.Backchain
+module Reachability = Gaea_petri.Reachability
+module Image = Gaea_raster.Image
+module Interpolate = Gaea_raster.Interpolate
+
+type trace_step =
+  | Retrieved_direct of string * Oid.t list
+  | Interpolated of string * Oid.t
+  | Fired of string * int * int
+
+type outcome = {
+  objects : Oid.t list;
+  new_tasks : Task.t list;
+  trace : trace_step list;
+}
+
+let ( let* ) r f = Result.bind r f
+
+let interpolation_process_name = "interpolate"
+
+(* ------------------------------------------------------------------ *)
+(* Step 1 + 3: retrieval and derivation                                *)
+(* ------------------------------------------------------------------ *)
+
+let derivation_plan k ?(need = 1) cls =
+  let view = Kernel.derivation_net k in
+  match view.Kernel.place_of_class cls with
+  | None -> None
+  | Some place ->
+    Backchain.search ~need view.Kernel.net (Kernel.current_marking k) place
+
+let derivable k cls =
+  let view = Kernel.derivation_net k in
+  match view.Kernel.place_of_class cls with
+  | None -> false
+  | Some place ->
+    let info =
+      Reachability.analyze view.Kernel.net (Kernel.current_marking k)
+    in
+    info.Reachability.derivable place
+
+(* Execute a backchain plan against the kernel: every Derived step fires
+   the corresponding process via Kernel.execute_process. *)
+let execute_plan k (view : Kernel.net_view) plan =
+  let tasks = ref [] in
+  let trace = ref [] in
+  (* bindings already fired per transition in this plan: re-firing a
+     process on identical inputs would only duplicate an object *)
+  let used : (int, (string * Oid.t list) list list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  (* shared sub-derivation nodes (plans share them physically) realize
+     once; distinct nodes for the same transition get distinct bindings
+     through [used] *)
+  let realized : (Obj.t * Oid.t) list ref = ref [] in
+  let rec realize_source source =
+    match source with
+    | Backchain.Existing oid -> Ok oid
+    | Backchain.Derived _
+      when List.exists (fun (key, _) -> key == Obj.repr source) !realized ->
+      Ok (snd (List.find (fun (key, _) -> key == Obj.repr source) !realized))
+    | Backchain.Derived step ->
+      (* realize all inputs, grouped per place *)
+      let* per_place =
+        List.fold_left
+          (fun acc (p, sources) ->
+            let* acc = acc in
+            let* oids =
+              List.fold_left
+                (fun acc src ->
+                  let* acc = acc in
+                  let* oid = realize_source src in
+                  Ok (oid :: acc))
+                (Ok []) sources
+            in
+            Ok ((p, List.rev oids) :: acc))
+          (Ok []) step.Backchain.step_inputs
+      in
+      let per_place = List.rev per_place in
+      (match view.Kernel.process_of_transition step.Backchain.transition with
+       | None ->
+         Error
+           (Printf.sprintf "no process behind transition %d"
+              step.Backchain.transition)
+       | Some (pname, version) ->
+         (match Kernel.find_process k ~version pname with
+          | None -> Error (Printf.sprintf "process %s v%d vanished" pname version)
+          | Some proc ->
+            let to_classes pairs =
+              List.filter_map
+                (fun (p, oids) ->
+                  Option.map
+                    (fun cls -> (cls, oids))
+                    (view.Kernel.class_of_place p))
+                pairs
+            in
+            let planned = to_classes per_place in
+            let exclude =
+              Option.value ~default:[]
+                (Hashtbl.find_opt used step.Backchain.transition)
+            in
+            (* the planned tokens may fail the guard with this exact
+               assignment; retry with everything the classes hold *)
+            let* binding =
+              match Kernel.find_binding k ~exclude proc ~available:planned with
+              | Ok b -> Ok b
+              | Error _ ->
+                let widened =
+                  List.map
+                    (fun (cls, _) -> (cls, Kernel.objects_of_class k cls))
+                    planned
+                in
+                Kernel.find_binding k ~exclude proc ~available:widened
+            in
+            Hashtbl.replace used step.Backchain.transition (binding :: exclude);
+            let* task = Kernel.execute_process k proc ~inputs:binding in
+            tasks := task :: !tasks;
+            trace :=
+              Fired (pname, version, task.Task.task_id) :: !trace;
+            (match task.Task.outputs with
+             | oid :: _ ->
+               realized := (Obj.repr source, oid) :: !realized;
+               Ok oid
+             | [] -> Error (pname ^ ": task produced no object"))))
+  in
+  let* objects =
+    List.fold_left
+      (fun acc src ->
+        let* acc = acc in
+        let* oid = realize_source src in
+        Ok (oid :: acc))
+      (Ok []) plan.Backchain.sources
+  in
+  Ok
+    { objects = List.rev objects;
+      new_tasks = List.rev !tasks;
+      trace = List.rev !trace }
+
+let request k ?(need = 1) cls =
+  match Kernel.find_class k cls with
+  | None -> Error (Printf.sprintf "unknown class %s" cls)
+  | Some _ ->
+    let stored = Kernel.objects_of_class k cls in
+    if List.length stored >= need then begin
+      let objects = List.filteri (fun i _ -> i < need) stored in
+      (Kernel.counters k).Kernel.retrievals <-
+        (Kernel.counters k).Kernel.retrievals + 1;
+      Ok
+        { objects;
+          new_tasks = [];
+          trace = [ Retrieved_direct (cls, objects) ] }
+    end
+    else begin
+      let view = Kernel.derivation_net k in
+      match view.Kernel.place_of_class cls with
+      | None -> Error (Printf.sprintf "class %s missing from the net" cls)
+      | Some place ->
+        (match
+           Backchain.search ~need view.Kernel.net (Kernel.current_marking k)
+             place
+         with
+         | None ->
+           Error
+             (Printf.sprintf
+                "%s: not derivable from current data (no plan found)" cls)
+         | Some plan -> execute_plan k view plan)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Step 2: interpolation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let object_time k ~cls ~tattr oid =
+  match Kernel.object_attr k ~cls oid tattr with
+  | Some (Value.VAbstime t) -> Some t
+  | _ -> None
+
+let interpolate_values k ~cls ~at (o1, o2) =
+  match Kernel.find_class k cls with
+  | None -> Error (Printf.sprintf "unknown class %s" cls)
+  | Some def ->
+    (match def.Schema.temporal_attr with
+     | None -> Error (cls ^ ": class has no temporal extent")
+     | Some tattr ->
+       let* t1 =
+         match object_time k ~cls ~tattr o1 with
+         | Some t -> Ok t
+         | None -> Error (Printf.sprintf "object %d has no timestamp" o1)
+       in
+       let* t2 =
+         match object_time k ~cls ~tattr o2 with
+         | Some t -> Ok t
+         | None -> Error (Printf.sprintf "object %d has no timestamp" o2)
+       in
+       if Abstime.equal t1 t2 then
+         Error "interpolation needs two distinct timestamps"
+       else begin
+         let w =
+           float_of_int (Abstime.diff_seconds at t1)
+           /. float_of_int (Abstime.diff_seconds t2 t1)
+         in
+         let nearest = if Float.abs w <= 0.5 then o1 else o2 in
+         List.fold_left
+           (fun acc attr ->
+             let* acc = acc in
+             let name = attr.Schema.a_name in
+             if name = tattr then Ok ((name, Value.abstime at) :: acc)
+             else begin
+               let v1 = Kernel.object_attr k ~cls o1 name in
+               let v2 = Kernel.object_attr k ~cls o2 name in
+               match v1, v2 with
+               | Some (Value.VImage i1), Some (Value.VImage i2) ->
+                 if Image.img_size_eq i1 i2 then
+                   Ok
+                     (( name,
+                        Value.image
+                          (Interpolate.temporal_linear ~at (t1, i1) (t2, i2)) )
+                      :: acc)
+                 else Error (name ^ ": image sizes differ")
+               | Some (Value.VFloat a), Some (Value.VFloat b) ->
+                 Ok ((name, Value.float (a +. (w *. (b -. a)))) :: acc)
+               | Some v, Some _ ->
+                 (* non-interpolable: copy from the nearest snapshot *)
+                 let v =
+                   if nearest = o1 then v
+                   else Option.value ~default:v (Kernel.object_attr k ~cls o2 name)
+                 in
+                 Ok ((name, v) :: acc)
+               | _ ->
+                 Error (Printf.sprintf "object missing attribute %s" name)
+             end)
+           (Ok []) def.Schema.attributes
+         |> Result.map List.rev
+       end)
+
+let matches_day t at = Float.abs (Abstime.diff_days t at) <= 1.0
+
+let find_bracket snapshots at =
+  (* snapshots sorted by time; pick neighbours around [at], or the two
+     nearest for extrapolation *)
+  match snapshots with
+  | [] | [ _ ] -> None
+  | _ ->
+    let before =
+      List.filter (fun (_, t) -> Abstime.compare t at <= 0) snapshots
+    and after =
+      List.filter (fun (_, t) -> Abstime.compare t at >= 0) snapshots
+    in
+    (match List.rev before, after with
+     | (o1, t1) :: _, (o2, t2) :: _ when not (Abstime.equal t1 t2) ->
+       Some ((o1, t1), (o2, t2))
+     | _ ->
+       (* one-sided: two nearest distinct-time snapshots *)
+       let sorted =
+         List.sort
+           (fun (_, ta) (_, tb) ->
+             Float.compare
+               (Float.abs (Abstime.diff_days ta at))
+               (Float.abs (Abstime.diff_days tb at)))
+           snapshots
+       in
+       (match sorted with
+        | (o1, t1) :: rest ->
+          (match List.find_opt (fun (_, t) -> not (Abstime.equal t t1)) rest with
+           | Some (o2, t2) -> Some ((o1, t1), (o2, t2))
+           | None -> None)
+        | [] -> None))
+
+type priority = [ `Interpolate_first | `Derive_first ]
+
+let try_interpolate k ~cls ~tattr ~at =
+  let snapshots =
+    List.filter_map
+      (fun oid ->
+        Option.map (fun t -> (oid, t)) (object_time k ~cls ~tattr oid))
+      (Kernel.objects_of_class k cls)
+    |> List.sort (fun (_, a) (_, b) -> Abstime.compare a b)
+  in
+  match find_bracket snapshots at with
+  | None -> Error (cls ^ ": not enough snapshots to interpolate");
+  | Some ((o1, _), (o2, _)) ->
+    let* pairs = interpolate_values k ~cls ~at (o1, o2) in
+    let* oid = Kernel.insert_object k ~cls pairs in
+    let task =
+      Kernel.record_task_raw k ~process:interpolation_process_name ~version:0
+        ~inputs:[ ("a", [ o1 ]); ("b", [ o2 ]) ]
+        ~params:[ ("at", Value.abstime at) ]
+        ~outputs:[ oid ] ~output_class:cls
+    in
+    (Kernel.counters k).Kernel.interpolations <-
+      (Kernel.counters k).Kernel.interpolations + 1;
+    Ok
+      { objects = [ oid ];
+        new_tasks = [ task ];
+        trace = [ Interpolated (cls, oid) ] }
+
+let request_at k ?(priority = `Interpolate_first) ~cls ~at () =
+  match Kernel.find_class k cls with
+  | None -> Error (Printf.sprintf "unknown class %s" cls)
+  | Some def ->
+    (match def.Schema.temporal_attr with
+     | None -> Error (cls ^ ": class has no temporal extent")
+     | Some tattr ->
+       (* step 1: direct retrieval at the requested time *)
+       let hits =
+         List.filter
+           (fun oid ->
+             match object_time k ~cls ~tattr oid with
+             | Some t -> matches_day t at
+             | None -> false)
+           (Kernel.objects_of_class k cls)
+       in
+       (match hits with
+        | oid :: _ ->
+          (Kernel.counters k).Kernel.retrievals <-
+            (Kernel.counters k).Kernel.retrievals + 1;
+          Ok
+            { objects = [ oid ];
+              new_tasks = [];
+              trace = [ Retrieved_direct (cls, [ oid ]) ] }
+        | [] ->
+          let derive_then_check () =
+            let* r = request k cls in
+            let produced_at =
+              List.filter
+                (fun oid ->
+                  match object_time k ~cls ~tattr oid with
+                  | Some t -> matches_day t at
+                  | None -> false)
+                r.objects
+            in
+            if produced_at <> [] then
+              Ok { r with objects = produced_at }
+            else
+              (* new snapshots may enable interpolation *)
+              let* r2 = try_interpolate k ~cls ~tattr ~at in
+              Ok
+                { objects = r2.objects;
+                  new_tasks = r.new_tasks @ r2.new_tasks;
+                  trace = r.trace @ r2.trace }
+          in
+          let strategies =
+            match priority with
+            | `Interpolate_first ->
+              [ (fun () -> try_interpolate k ~cls ~tattr ~at);
+                derive_then_check ]
+            | `Derive_first ->
+              [ derive_then_check;
+                (fun () -> try_interpolate k ~cls ~tattr ~at) ]
+          in
+          let rec try_all last_err = function
+            | [] -> Error last_err
+            | s :: rest ->
+              (match s () with
+               | Ok _ as ok -> ok
+               | Error e -> try_all e rest)
+          in
+          try_all "no strategy applicable" strategies))
+
+let recompute k (task : Task.t) =
+  if
+    task.Task.process = interpolation_process_name
+    && task.Task.process_version = 0
+  then begin
+    let* at =
+      match List.assoc_opt "at" task.Task.params with
+      | Some (Value.VAbstime t) -> Ok t
+      | _ -> Error "interpolation task without 'at' parameter"
+    in
+    let* o1 =
+      match List.assoc_opt "a" task.Task.inputs with
+      | Some [ o ] -> Ok o
+      | _ -> Error "interpolation task without input a"
+    in
+    let* o2 =
+      match List.assoc_opt "b" task.Task.inputs with
+      | Some [ o ] -> Ok o
+      | _ -> Error "interpolation task without input b"
+    in
+    interpolate_values k ~cls:task.Task.output_class ~at (o1, o2)
+  end
+  else Kernel.recompute_task k task

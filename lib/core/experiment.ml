@@ -1,0 +1,94 @@
+type t = {
+  e_name : string;
+  e_doc : string;
+  concepts : string list;
+  task_ids : int list;
+  notes : string list;
+}
+
+type manager = (string, t) Hashtbl.t
+
+let create_manager () = Hashtbl.create 16
+
+let begin_experiment m ~name ?(doc = "") ?(concepts = []) () =
+  if name = "" then Error "experiment: empty name"
+  else if Hashtbl.mem m name then
+    Error (Printf.sprintf "experiment %s already exists" name)
+  else begin
+    Hashtbl.add m name
+      { e_name = name; e_doc = doc; concepts; task_ids = []; notes = [] };
+    Ok ()
+  end
+
+let update m name f =
+  match Hashtbl.find_opt m name with
+  | None -> Error (Printf.sprintf "unknown experiment %s" name)
+  | Some e ->
+    Hashtbl.replace m name (f e);
+    Ok ()
+
+let record_task m ~experiment id =
+  update m experiment (fun e -> { e with task_ids = e.task_ids @ [ id ] })
+
+let add_note m ~experiment note =
+  update m experiment (fun e -> { e with notes = note :: e.notes })
+
+let add_concept m ~experiment c =
+  update m experiment (fun e ->
+      { e with concepts = List.sort_uniq compare (c :: e.concepts) })
+
+let find m name = Hashtbl.find_opt m name
+
+let all m =
+  Hashtbl.fold (fun _ e acc -> e :: acc) m []
+  |> List.sort (fun a b -> compare a.e_name b.e_name)
+
+type reproduction = {
+  total : int;
+  reproduced : int;
+  failures : (int * string) list;
+}
+
+let reproduce m k ~experiment =
+  match find m experiment with
+  | None -> Error (Printf.sprintf "unknown experiment %s" experiment)
+  | Some e ->
+    let total = List.length e.task_ids in
+    let reproduced, failures =
+      List.fold_left
+        (fun (ok, fails) id ->
+          match Kernel.find_task k id with
+          | None -> (ok, (id, "task not found") :: fails)
+          | Some task ->
+            (match Lineage.verify_task k task with
+             | Ok true -> (ok + 1, fails)
+             | Ok false -> (ok, (id, "outputs differ") :: fails)
+             | Error msg -> (ok, (id, msg) :: fails)))
+        (0, []) e.task_ids
+    in
+    Ok { total; reproduced; failures = List.rev failures }
+
+let report m k ~experiment =
+  match find m experiment with
+  | None -> Error (Printf.sprintf "unknown experiment %s" experiment)
+  | Some e ->
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf (Printf.sprintf "EXPERIMENT %s\n" e.e_name);
+    if e.e_doc <> "" then Buffer.add_string buf (e.e_doc ^ "\n");
+    if e.concepts <> [] then
+      Buffer.add_string buf
+        ("concepts: " ^ String.concat ", " e.concepts ^ "\n");
+    Buffer.add_string buf
+      (Printf.sprintf "tasks (%d):\n" (List.length e.task_ids));
+    List.iter
+      (fun id ->
+        match Kernel.find_task k id with
+        | None -> Buffer.add_string buf (Printf.sprintf "  #%d (missing)\n" id)
+        | Some task ->
+          Buffer.add_string buf
+            (Format.asprintf "  %a\n" Task.pp task))
+      e.task_ids;
+    List.iter
+      (fun note -> Buffer.add_string buf ("note: " ^ note ^ "\n"))
+      (List.rev e.notes);
+    Ok (Buffer.contents buf)

@@ -1,0 +1,92 @@
+(** Builders for the paper's worked examples.
+
+    Each function installs classes / processes / concepts into a kernel
+    exactly as the corresponding figure describes, and loads synthetic
+    stand-ins for the satellite data (see DESIGN.md, substitutions).
+    Class and process names follow the paper (C1, C20, P20, ...) with
+    readable aliases. *)
+
+(** {2 Fig 3 — unsupervised classification (process P20)} *)
+
+val landsat_class : string        (** "landsat_tm_rect" — the paper's C1 *)
+
+val land_cover_class : string     (** "land_cover" — the paper's C20 *)
+
+val p20_name : string             (** "unsupervised-classification" *)
+
+val install_fig3 : ?k:int -> Kernel.t -> (unit, string) result
+(** Define C1, C20 and P20 (k land-cover classes, default 12 as in the
+    figure). *)
+
+val load_tm_bands :
+  Kernel.t -> seed:int -> ?nrow:int -> ?ncol:int -> ?n_bands:int
+  -> ?extent:Gaea_geo.Extent.t -> unit
+  -> (Gaea_storage.Oid.t list, string) result
+(** Insert synthetic rectified-TM band objects (default 3 bands of
+    64x64) sharing one spatio-temporal extent. *)
+
+(** {2 Section 1 / Fig 2 — NDVI and vegetation change} *)
+
+val avhrr_class : string          (** "avhrr_band" *)
+
+val ndvi_class : string           (** "ndvi_map" — the paper's C6 *)
+
+val veg_change_class : string     (** "veg_change" — C7 / C8 *)
+
+val p_ndvi : string               (** "ndvi-derivation" *)
+
+val p_change_sub : string         (** "veg-change-subtract" (scientist 1) *)
+
+val p_change_div : string         (** "veg-change-divide" (scientist 2) *)
+
+val p_change_spca : string        (** "veg-change-spca" (C7 via Fig 4 net) *)
+
+val install_vegetation : Kernel.t -> (unit, string) result
+(** Classes and the four processes, plus the NDVI / Vegetation-Change
+    concepts of Fig 2. *)
+
+val load_avhrr_year :
+  Kernel.t -> seed:int -> year:int -> ?nrow:int -> ?ncol:int
+  -> ?vegetation_shift:float -> unit
+  -> (Gaea_storage.Oid.t * Gaea_storage.Oid.t, string) result
+(** Insert a (red, nir) AVHRR channel pair for the given year; returns
+    (red oid, nir oid). *)
+
+(** {2 Fig 2 — desert concept hierarchy} *)
+
+val rainfall_class : string       (** "rainfall_map" *)
+
+val desert_class : string         (** "desert_map" (C2-style) *)
+
+val install_deserts : Kernel.t -> (unit, string) result
+(** The DESERT ISA hierarchy (hot trade-wind / ice-snow) and two
+    parameterized desert processes: rainfall < 250 mm and < 200 mm —
+    "the same derivation method with different parameters represents
+    different processes". *)
+
+val p_desert_250 : string
+val p_desert_200 : string
+
+val load_rainfall :
+  Kernel.t -> seed:int -> ?nrow:int -> ?ncol:int -> unit
+  -> (Gaea_storage.Oid.t, string) result
+
+(** {2 Fig 5 — compound process land-change-detection} *)
+
+val change_image_class : string   (** intermediate SPCA output *)
+
+val land_cover_changes_class : string
+val p_spca_step : string          (** primitive SPCA step *)
+
+val p_classify_change : string    (** primitive classification step *)
+
+val p_land_change : string        (** the compound "land-change-detection" *)
+
+val install_fig5 : Kernel.t -> (unit, string) result
+(** Requires {!install_fig3} (reuses the TM class). *)
+
+(** {2 Everything} *)
+
+val install_all : Kernel.t -> (unit, string) result
+(** Fig 3 + vegetation + deserts + Fig 5 on one kernel (the full Fig 2
+    three-layer schema). *)

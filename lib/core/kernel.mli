@@ -1,0 +1,160 @@
+(** The Gaea kernel: the metadata manager of Fig 1.
+
+    Owns the three semantic layers — the system-level ADT registry, the
+    derivation-level class/process/task catalogs, and the high-level
+    concept hierarchy — plus the backing store (the Postgres role) and
+    the class-derivation Petri net.
+
+    Concurrency: a kernel is a single-threaded mutable object. *)
+
+type t
+
+val create : unit -> t
+(** Fresh kernel with the built-in registry ({!Gaea_adt.Registry.with_builtins})
+    and an empty store. *)
+
+(** {2 System level} *)
+
+val registry : t -> Gaea_adt.Registry.t
+val store : t -> Gaea_storage.Store.t
+
+(** {2 Classes (derivation level, static)} *)
+
+val define_class : t -> Schema.t -> (unit, string) result
+(** Creates the backing table.  Errors on duplicate class names or if a
+    [Derived] class names a process that is neither defined yet nor
+    defined later (checked lazily at derivation time). *)
+
+val find_class : t -> string -> Schema.t option
+val classes : t -> Schema.t list
+(** Sorted by name. *)
+
+val class_table : t -> string -> Gaea_storage.Table.t option
+
+(** {2 Objects} *)
+
+val insert_object :
+  t -> cls:string -> (string * Gaea_adt.Value.t) list
+  -> (Gaea_storage.Oid.t, string) result
+(** Attribute-name/value pairs; every class attribute must be given
+    exactly once.  Base-data ingestion and derivation both land here. *)
+
+val object_tuple : t -> cls:string -> Gaea_storage.Oid.t -> Gaea_storage.Tuple.t option
+val object_attr :
+  t -> cls:string -> Gaea_storage.Oid.t -> string -> Gaea_adt.Value.t option
+val objects_of_class : t -> string -> Gaea_storage.Oid.t list
+val class_of_object : t -> Gaea_storage.Oid.t -> string option
+val count_objects : t -> string -> int
+val delete_object : t -> cls:string -> Gaea_storage.Oid.t -> bool
+
+(** {2 Concepts (high level)} *)
+
+val concepts : t -> Concept.t
+
+(** {2 Processes} *)
+
+val define_process : t -> Process.t -> (unit, string) result
+(** Registers under (name, version); errors on duplicates, unknown
+    argument/output classes, or (for compounds) unknown sub-processes. *)
+
+val find_process : t -> ?version:int -> string -> Process.t option
+(** Latest version when [version] is omitted. *)
+
+val process_versions : t -> string -> Process.t list
+(** Ascending version order. *)
+
+val processes : t -> Process.t list
+(** Latest version of each process, sorted by name. *)
+
+val all_process_versions : t -> Process.t list
+
+(** {2 Execution (tasks)} *)
+
+val execute_process :
+  t -> Process.t -> inputs:(string * Gaea_storage.Oid.t list) list
+  -> (Task.t, string) result
+(** Bind the given objects to the process arguments, check cardinalities
+    and assertions, evaluate the mappings, insert the output object and
+    record the task.  Compound processes are expanded: each primitive
+    step yields its own task; the returned task is the final step's. *)
+
+val recompute_task :
+  t -> Task.t -> ((string * Gaea_adt.Value.t) list, string) result
+(** Re-run the task's process on its recorded inputs {e without}
+    inserting — the reproducibility check. Only primitive-process tasks
+    (every recorded task is one). *)
+
+val find_binding :
+  t -> ?exclude:(string * Gaea_storage.Oid.t list) list list
+  -> Process.t -> available:(string * Gaea_storage.Oid.t list) list
+  -> ((string * Gaea_storage.Oid.t list) list, string) result
+(** Distribute candidate objects (keyed by {e class} name) over the
+    process's arguments so that cardinalities and assertions hold.
+    Tries permutations when several arguments draw from one class (the
+    NDVI-1988/1989 situation).  Bindings listed in [exclude] are
+    skipped — deriving several objects of one class must not re-fire a
+    process on the very same inputs, which would duplicate data. *)
+
+val insert_object_with_oid :
+  t -> cls:string -> Gaea_storage.Oid.t -> (string * Gaea_adt.Value.t) list
+  -> (unit, string) result
+(** Insert under a caller-chosen OID (kernel restore); advances the
+    store's allocator past it. *)
+
+val restore_task : t -> Task.t -> (unit, string) result
+(** Append a previously recorded task verbatim (kernel restore): indexes
+    it and advances the task counter and logical clock past it.  Errors
+    on duplicate task ids. *)
+
+val record_task_raw :
+  t -> process:string -> version:int
+  -> inputs:(string * Gaea_storage.Oid.t list) list
+  -> params:(string * Gaea_adt.Value.t) list
+  -> outputs:Gaea_storage.Oid.t list -> output_class:string -> Task.t
+(** Append a task record without executing anything — used by the
+    derivation manager for its generic interpolation pseudo-process.
+    Regular code should go through {!execute_process}. *)
+
+(** {2 Task log} *)
+
+val tasks : t -> Task.t list
+(** Chronological. *)
+
+val find_task : t -> int -> Task.t option
+val task_producing : t -> Gaea_storage.Oid.t -> Task.t option
+(** The task that created the object ([None] for base data). *)
+
+val tasks_using : t -> Gaea_storage.Oid.t -> Task.t list
+
+(** {2 Derivation net} *)
+
+type net_view = {
+  net : Gaea_petri.Net.t;
+  place_of_class : string -> Gaea_petri.Net.place option;
+  class_of_place : Gaea_petri.Net.place -> string option;
+  process_of_transition :
+    Gaea_petri.Net.transition -> (string * int) option;
+}
+
+val derivation_net : t -> net_view
+(** The class-derivation diagram: a place per class, a transition per
+    latest-version primitive process (compounds contribute their
+    expansion).  Rebuilt when classes or processes change; cached
+    otherwise. *)
+
+val current_marking : t -> Gaea_petri.Marking.t
+(** Token = object OID at its class's place. *)
+
+(** {2 Bookkeeping} *)
+
+type counters = {
+  mutable executions : int;     (** process executions (tasks recorded) *)
+  mutable retrievals : int;     (** direct object retrievals *)
+  mutable interpolations : int;
+  mutable pixels_processed : int; (** image pixels written by mappings *)
+}
+
+val counters : t -> counters
+val reset_counters : t -> unit
+val clock : t -> int
+(** Current logical time (increments per task). *)

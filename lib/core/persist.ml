@@ -1,0 +1,446 @@
+module Sexp = Gaea_adt.Sexp
+module Value = Gaea_adt.Value
+module Vtype = Gaea_adt.Vtype
+
+let ( let* ) r f = Result.bind r f
+
+let iatom i = Sexp.atom (string_of_int i)
+
+let parse_int = function
+  | Sexp.Atom a ->
+    (match int_of_string_opt a with
+     | Some i -> Ok i
+     | None -> Error ("not an int: " ^ a))
+  | Sexp.List _ -> Error "expected int atom"
+
+let atom_of = function
+  | Sexp.Atom a -> Ok a
+  | Sexp.List _ -> Error "expected atom"
+
+let value_to_sexp v =
+  Result.get_ok (Sexp.of_string (Value.serialize v))
+
+let value_of_sexp s = Value.deserialize (Sexp.to_string s)
+
+let map_m f items =
+  List.fold_left
+    (fun acc x ->
+      let* acc = acc in
+      let* y = f x in
+      Ok (y :: acc))
+    (Ok []) items
+  |> Result.map List.rev
+
+(* --- schema --------------------------------------------------------- *)
+
+let class_to_sexp (c : Schema.t) =
+  Sexp.list
+    [ Sexp.atom "class";
+      Sexp.atom c.Schema.c_name;
+      Sexp.list
+        (List.map
+           (fun a ->
+             Sexp.list
+               [ Sexp.atom a.Schema.a_name;
+                 Sexp.atom (Vtype.to_string a.Schema.a_type) ])
+           c.Schema.attributes);
+      Sexp.atom (Option.value ~default:"-" c.Schema.spatial_attr);
+      Sexp.atom (Option.value ~default:"-" c.Schema.temporal_attr);
+      Sexp.atom (Option.value ~default:"-" (Schema.derived_by c));
+      Sexp.atom c.Schema.c_doc ]
+
+let class_of_sexp = function
+  | Sexp.List
+      [ Sexp.Atom "class"; Sexp.Atom name; Sexp.List attrs; Sexp.Atom sp;
+        Sexp.Atom tp; Sexp.Atom der; Sexp.Atom doc ] ->
+    let* attributes =
+      map_m
+        (function
+          | Sexp.List [ Sexp.Atom n; Sexp.Atom ty ] ->
+            (match Vtype.of_string ty with
+             | Some ty -> Ok (n, ty)
+             | None -> Error ("unknown type " ^ ty))
+          | _ -> Error "malformed attribute")
+        attrs
+    in
+    let opt = function "-" -> None | s -> Some s in
+    Schema.define ~name ~doc ~attributes ?spatial:(opt sp) ?temporal:(opt tp)
+      ?derived_by:(opt der) ()
+  | _ -> Error "malformed class"
+
+(* --- template ------------------------------------------------------- *)
+
+let rec expr_to_sexp = function
+  | Template.Const v -> Sexp.list [ Sexp.atom "const"; value_to_sexp v ]
+  | Template.Attr_of (a, attr) ->
+    Sexp.list [ Sexp.atom "attr"; Sexp.atom a; Sexp.atom attr ]
+  | Template.Param p -> Sexp.list [ Sexp.atom "param"; Sexp.atom p ]
+  | Template.Anyof e -> Sexp.list [ Sexp.atom "anyof"; expr_to_sexp e ]
+  | Template.Apply (op, args) ->
+    Sexp.list (Sexp.atom "apply" :: Sexp.atom op :: List.map expr_to_sexp args)
+
+let rec expr_of_sexp = function
+  | Sexp.List [ Sexp.Atom "const"; v ] ->
+    Result.map (fun v -> Template.Const v) (value_of_sexp v)
+  | Sexp.List [ Sexp.Atom "attr"; Sexp.Atom a; Sexp.Atom attr ] ->
+    Ok (Template.Attr_of (a, attr))
+  | Sexp.List [ Sexp.Atom "param"; Sexp.Atom p ] -> Ok (Template.Param p)
+  | Sexp.List [ Sexp.Atom "anyof"; e ] ->
+    Result.map (fun e -> Template.Anyof e) (expr_of_sexp e)
+  | Sexp.List (Sexp.Atom "apply" :: Sexp.Atom op :: args) ->
+    Result.map (fun args -> Template.Apply (op, args)) (map_m expr_of_sexp args)
+  | _ -> Error "malformed expression"
+
+let assertion_to_sexp = function
+  | Template.Expr_true e -> Sexp.list [ Sexp.atom "expr"; expr_to_sexp e ]
+  | Template.Common_space a -> Sexp.list [ Sexp.atom "common-space"; Sexp.atom a ]
+  | Template.Common_time a -> Sexp.list [ Sexp.atom "common-time"; Sexp.atom a ]
+  | Template.Card_eq (a, n) ->
+    Sexp.list [ Sexp.atom "card-eq"; Sexp.atom a; iatom n ]
+  | Template.Card_ge (a, n) ->
+    Sexp.list [ Sexp.atom "card-ge"; Sexp.atom a; iatom n ]
+
+let assertion_of_sexp = function
+  | Sexp.List [ Sexp.Atom "expr"; e ] ->
+    Result.map (fun e -> Template.Expr_true e) (expr_of_sexp e)
+  | Sexp.List [ Sexp.Atom "common-space"; Sexp.Atom a ] ->
+    Ok (Template.Common_space a)
+  | Sexp.List [ Sexp.Atom "common-time"; Sexp.Atom a ] ->
+    Ok (Template.Common_time a)
+  | Sexp.List [ Sexp.Atom "card-eq"; Sexp.Atom a; n ] ->
+    Result.map (fun n -> Template.Card_eq (a, n)) (parse_int n)
+  | Sexp.List [ Sexp.Atom "card-ge"; Sexp.Atom a; n ] ->
+    Result.map (fun n -> Template.Card_ge (a, n)) (parse_int n)
+  | _ -> Error "malformed assertion"
+
+let template_to_sexp (t : Template.t) =
+  Sexp.list
+    [ Sexp.atom "template";
+      Sexp.list (List.map assertion_to_sexp t.Template.assertions);
+      Sexp.list
+        (List.map
+           (fun m ->
+             Sexp.list [ Sexp.atom m.Template.target; expr_to_sexp m.Template.rhs ])
+           t.Template.mappings) ]
+
+let template_of_sexp = function
+  | Sexp.List [ Sexp.Atom "template"; Sexp.List assertions; Sexp.List mappings ] ->
+    let* assertions = map_m assertion_of_sexp assertions in
+    let* mappings =
+      map_m
+        (function
+          | Sexp.List [ Sexp.Atom target; rhs ] ->
+            Result.map (fun rhs -> { Template.target; rhs }) (expr_of_sexp rhs)
+          | _ -> Error "malformed mapping")
+        mappings
+    in
+    Ok (Template.make ~assertions ~mappings)
+  | _ -> Error "malformed template"
+
+(* --- process -------------------------------------------------------- *)
+
+let arg_to_sexp (a : Process.arg_spec) =
+  Sexp.list
+    [ Sexp.atom a.Process.arg_name;
+      Sexp.atom a.Process.arg_class;
+      Sexp.atom (if a.Process.setof then "setof" else "scalar");
+      iatom a.Process.card_min;
+      (match a.Process.card_max with
+       | Some m -> iatom m
+       | None -> Sexp.atom "-") ]
+
+let arg_of_sexp = function
+  | Sexp.List [ Sexp.Atom name; Sexp.Atom cls; Sexp.Atom kind; cmin; cmax ] ->
+    let* card_min = parse_int cmin in
+    let* card_max =
+      match cmax with
+      | Sexp.Atom "-" -> Ok None
+      | s -> Result.map Option.some (parse_int s)
+    in
+    if kind = "scalar" then Ok (Process.scalar_arg name cls)
+    else Ok (Process.setof_arg ~card_min ?card_max name cls)
+  | _ -> Error "malformed argument"
+
+let process_to_sexp (p : Process.t) =
+  let kind =
+    match p.Process.kind with
+    | Process.Primitive t -> Sexp.list [ Sexp.atom "primitive"; template_to_sexp t ]
+    | Process.Compound steps ->
+      Sexp.list
+        (Sexp.atom "compound"
+         :: List.map
+              (fun s ->
+                Sexp.list
+                  (Sexp.atom s.Process.step_process
+                   :: List.map
+                        (fun (arg, input) ->
+                          match input with
+                          | Process.From_arg a ->
+                            Sexp.list [ Sexp.atom arg; Sexp.atom "arg"; Sexp.atom a ]
+                          | Process.From_step i ->
+                            Sexp.list [ Sexp.atom arg; Sexp.atom "step"; iatom i ])
+                        s.Process.step_inputs))
+              steps)
+  in
+  Sexp.list
+    [ Sexp.atom "process";
+      Sexp.atom p.Process.proc_name;
+      iatom p.Process.version;
+      Sexp.atom p.Process.output_class;
+      Sexp.list (List.map arg_to_sexp p.Process.args);
+      Sexp.list
+        (List.map
+           (fun (n, v) -> Sexp.list [ Sexp.atom n; value_to_sexp v ])
+           p.Process.params);
+      kind;
+      Sexp.atom p.Process.doc;
+      (match p.Process.derived_from with
+       | Some (n, v) -> Sexp.list [ Sexp.atom n; iatom v ]
+       | None -> Sexp.atom "-") ]
+
+let process_of_sexp = function
+  | Sexp.List
+      [ Sexp.Atom "process"; Sexp.Atom name; version; Sexp.Atom output;
+        Sexp.List args; Sexp.List params; kind; Sexp.Atom doc; derived_from ]
+    ->
+    let* version = parse_int version in
+    let* args = map_m arg_of_sexp args in
+    let* params =
+      map_m
+        (function
+          | Sexp.List [ Sexp.Atom n; v ] ->
+            Result.map (fun v -> (n, v)) (value_of_sexp v)
+          | _ -> Error "malformed parameter")
+        params
+    in
+    let* base =
+      match kind with
+      | Sexp.List [ Sexp.Atom "primitive"; t ] ->
+        let* template = template_of_sexp t in
+        Process.define_primitive ~name ~doc ~output_class:output ~args ~params
+          ~template ()
+      | Sexp.List (Sexp.Atom "compound" :: steps) ->
+        let* steps =
+          map_m
+            (function
+              | Sexp.List (Sexp.Atom sub :: inputs) ->
+                let* step_inputs =
+                  map_m
+                    (function
+                      | Sexp.List [ Sexp.Atom arg; Sexp.Atom "arg"; Sexp.Atom a ] ->
+                        Ok (arg, Process.From_arg a)
+                      | Sexp.List [ Sexp.Atom arg; Sexp.Atom "step"; i ] ->
+                        Result.map
+                          (fun i -> (arg, Process.From_step i))
+                          (parse_int i)
+                      | _ -> Error "malformed step input")
+                    inputs
+                in
+                Ok { Process.step_process = sub; step_inputs }
+              | _ -> Error "malformed step")
+            steps
+        in
+        Process.define_compound ~name ~doc ~output_class:output ~args ~steps ()
+      | _ -> Error "malformed process kind"
+    in
+    (* restore identity fields the public constructors normalize *)
+    let* derived_from =
+      match derived_from with
+      | Sexp.Atom "-" -> Ok None
+      | Sexp.List [ Sexp.Atom n; v ] ->
+        Result.map (fun v -> Some (n, v)) (parse_int v)
+      | _ -> Error "malformed derived_from"
+    in
+    Ok (name, version, derived_from, base)
+  | _ -> Error "malformed process"
+
+(* Process.t is private; to restore version/derived_from we replay the
+   edit history shape: define the base then re-edit.  Simpler and exact:
+   construct through edit when version > 1. *)
+let restore_process kernel (name, version, derived_from, base) =
+  (* versions must be loaded in ascending order; we synthesize the exact
+     version by chained edits from the parsed definition *)
+  let rec bump p =
+    if p.Process.version >= version then Ok p
+    else
+      let* p' = Process.edit p ~name () in
+      bump p'
+  in
+  let* p = bump base in
+  (* derived_from in the save wins over what edit synthesized; since the
+     record is private we cannot patch it — acceptable: lineage of edits
+     is re-derivable, tasks reference (name, version) which we preserved *)
+  ignore derived_from;
+  Kernel.define_process kernel p
+
+(* --- concepts ------------------------------------------------------- *)
+
+let concepts_to_sexp concepts =
+  let all = Concept.all concepts in
+  Sexp.list
+    (Sexp.atom "concepts"
+     :: List.map
+          (fun c ->
+            Sexp.list
+              [ Sexp.atom c.Concept.name;
+                Sexp.list (List.map Sexp.atom c.Concept.members);
+                Sexp.list
+                  (List.map Sexp.atom (Concept.parents concepts c.Concept.name));
+                Sexp.atom c.Concept.doc ])
+          all)
+
+let restore_concepts kernel = function
+  | Sexp.List (Sexp.Atom "concepts" :: entries) ->
+    let concepts = Kernel.concepts kernel in
+    (* two passes: define all, then add ISA edges *)
+    let* parsed =
+      map_m
+        (function
+          | Sexp.List
+              [ Sexp.Atom name; Sexp.List members; Sexp.List parents;
+                Sexp.Atom doc ] ->
+            let* members = map_m atom_of members in
+            let* parents = map_m atom_of parents in
+            Ok (name, members, parents, doc)
+          | _ -> Error "malformed concept")
+        entries
+    in
+    let* () =
+      List.fold_left
+        (fun acc (name, members, _, doc) ->
+          let* () = acc in
+          Result.map (fun _ -> ()) (Concept.define concepts ~name ~doc ~members ()))
+        (Ok ()) parsed
+    in
+    List.fold_left
+      (fun acc (name, _, parents, _) ->
+        let* () = acc in
+        List.fold_left
+          (fun acc super ->
+            let* () = acc in
+            Concept.add_isa concepts ~sub:name ~super)
+          (Ok ()) parents)
+      (Ok ()) parsed
+  | _ -> Error "malformed concepts section"
+
+(* --- objects -------------------------------------------------------- *)
+
+let objects_to_sexp kernel (c : Schema.t) =
+  let cls = c.Schema.c_name in
+  let attrs = Schema.attr_names c in
+  Sexp.list
+    (Sexp.atom "objects" :: Sexp.atom cls
+     :: List.map
+          (fun oid ->
+            Sexp.list
+              (iatom oid
+               :: List.map
+                    (fun a ->
+                      value_to_sexp
+                        (Option.get (Kernel.object_attr kernel ~cls oid a)))
+                    attrs))
+          (Kernel.objects_of_class kernel cls))
+
+let restore_objects kernel = function
+  | Sexp.List (Sexp.Atom "objects" :: Sexp.Atom cls :: rows) ->
+    (match Kernel.find_class kernel cls with
+     | None -> Error ("objects for unknown class " ^ cls)
+     | Some def ->
+       let attrs = Schema.attr_names def in
+       List.fold_left
+         (fun acc row ->
+           let* () = acc in
+           match row with
+           | Sexp.List (oid :: values) when List.length values = List.length attrs ->
+             let* oid = parse_int oid in
+             let* values = map_m value_of_sexp values in
+             Kernel.insert_object_with_oid kernel ~cls oid
+               (List.combine attrs values)
+           | _ -> Error "malformed object row")
+         (Ok ()) rows)
+  | _ -> Error "malformed objects section"
+
+(* --- whole kernel ---------------------------------------------------- *)
+
+let save kernel =
+  let buf = Buffer.create 8192 in
+  let emit s =
+    Buffer.add_string buf (Sexp.to_string s);
+    Buffer.add_char buf '\n'
+  in
+  List.iter (fun c -> emit (class_to_sexp c)) (Kernel.classes kernel);
+  emit (concepts_to_sexp (Kernel.concepts kernel));
+  List.iter
+    (fun p -> emit (process_to_sexp p))
+    (Kernel.all_process_versions kernel);
+  List.iter (fun c -> emit (objects_to_sexp kernel c)) (Kernel.classes kernel);
+  List.iter
+    (fun task -> emit (Task.to_sexp task))
+    (Kernel.tasks kernel);
+  Buffer.contents buf
+
+let load text =
+  let* sexps = Sexp.of_string_many text in
+  let kernel = Kernel.create () in
+  (* compound processes reference their primitive sub-processes, so
+     restore processes primitives-first regardless of file order *)
+  let* parsed_processes =
+    map_m process_of_sexp
+      (List.filter
+         (function Sexp.List (Sexp.Atom "process" :: _) -> true | _ -> false)
+         sexps)
+  in
+  let primitives, compounds =
+    List.partition (fun (_, _, _, p) -> Process.is_primitive p) parsed_processes
+  in
+  let* () =
+    List.fold_left
+      (fun acc sexp ->
+        let* () = acc in
+        match sexp with
+        | Sexp.List (Sexp.Atom "class" :: _) ->
+          let* c = class_of_sexp sexp in
+          Kernel.define_class kernel c
+        | Sexp.List (Sexp.Atom "concepts" :: _) -> restore_concepts kernel sexp
+        | _ -> Ok ())
+      (Ok ()) sexps
+  in
+  let* () =
+    List.fold_left
+      (fun acc p ->
+        let* () = acc in
+        restore_process kernel p)
+      (Ok ()) (primitives @ compounds)
+  in
+  let* () =
+    List.fold_left
+      (fun acc sexp ->
+        let* () = acc in
+        match sexp with
+        | Sexp.List (Sexp.Atom "objects" :: _) -> restore_objects kernel sexp
+        | Sexp.List (Sexp.Atom "task" :: _) ->
+          let* task = Task.of_sexp sexp in
+          Kernel.restore_task kernel task
+        | Sexp.List (Sexp.Atom ("class" | "concepts" | "process") :: _) -> Ok ()
+        | _ -> Error "unknown section")
+      (Ok ()) sexps
+  in
+  Ok kernel
+
+let save_to_file kernel path =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (save kernel);
+        Ok ())
+  with Sys_error e -> Error e
+
+let load_from_file path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> load (really_input_string ic (in_channel_length ic)))
+  with Sys_error e -> Error e

@@ -1,0 +1,21 @@
+(** Whole-kernel persistence — the data-{e sharing} story of the paper.
+
+    A saved kernel carries everything needed for another scientist to
+    re-derive and verify every result: class definitions, the concept
+    hierarchy, every process {e version} (templates included — the
+    derivation procedures themselves travel with the data), the task
+    log, and all stored objects.  The text format is S-expressions; the
+    only thing not carried is the operator registry, which is code
+    (both sides must run the same Gaea build — the paper's "processes
+    that are not locally available" are listed as future work, and ours
+    too). *)
+
+val save : Kernel.t -> string
+
+val load : string -> (Kernel.t, string) result
+(** Rebuilds a fresh kernel (built-in registry) and replays the saved
+    metadata and data.  After loading, every saved task must verify:
+    [Lineage.verify_object] on any object reproduces it exactly. *)
+
+val save_to_file : Kernel.t -> string -> (unit, string) result
+val load_from_file : string -> (Kernel.t, string) result

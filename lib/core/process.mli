@@ -1,0 +1,97 @@
+(** Processes (paper Section 2.1.2): the derivation procedure of a
+    non-primitive class.
+
+    "Formally, a process defines a mapping between a set of input object
+    classes and an output object class. [...] Object classes which do
+    not represent base data are solely defined by their derivation
+    process."
+
+    A {e primitive} process carries a TEMPLATE of operator applications.
+    A {e compound} process is "a network of intercommunicating
+    processes" — "merely an abstraction which [...] cannot be directly
+    applied, but must be expanded into its primitive processes before
+    actual derivation takes place" (Section 2.1.4, Fig 5).
+
+    Parameters: "the same derivation method with different parameters
+    represents different processes" — parameters are therefore bound at
+    process-definition time ({!bind_params}), not per task. *)
+
+type arg_spec = {
+  arg_name : string;
+  arg_class : string;       (** input class name *)
+  setof : bool;             (** SETOF argument *)
+  card_min : int;           (** minimum objects (1 for scalar args) *)
+  card_max : int option;    (** exact upper bound if constrained *)
+}
+
+type step_input =
+  | From_arg of string       (** a compound argument, passed through *)
+  | From_step of int         (** output objects of an earlier step *)
+
+type step = {
+  step_process : string;     (** sub-process name *)
+  step_inputs : (string * step_input) list;
+  (** binding of the sub-process's argument names *)
+}
+
+type kind =
+  | Primitive of Template.t
+  | Compound of step list    (** executed in order; the last step's
+                                 output is the compound's output *)
+
+type t = private {
+  proc_name : string;
+  version : int;
+  output_class : string;
+  args : arg_spec list;
+  params : (string * Gaea_adt.Value.t) list;
+  (** bound parameter values (e.g. rainfall cutoff 250 vs 200 mm) *)
+  kind : kind;
+  doc : string;
+  derived_from : (string * int) option;
+  (** (name, version) this process was edited from — never overwritten *)
+}
+
+val scalar_arg : string -> string -> arg_spec
+(** [scalar_arg name cls]: exactly one object of class [cls]. *)
+
+val setof_arg : ?card_min:int -> ?card_max:int -> string -> string -> arg_spec
+(** SETOF argument; default minimum 1. *)
+
+val define_primitive :
+  name:string -> ?doc:string -> output_class:string -> args:arg_spec list
+  -> ?params:(string * Gaea_adt.Value.t) list -> template:Template.t -> unit
+  -> (t, string) result
+(** Validates: unique/valid argument names, card bounds consistent,
+    every template parameter bound, every referenced argument declared. *)
+
+val define_compound :
+  name:string -> ?doc:string -> output_class:string -> args:arg_spec list
+  -> steps:step list -> unit -> (t, string) result
+(** Validates step-input references ([From_step i] must point to an
+    earlier step) and that at least one step exists. *)
+
+val edit :
+  t -> name:string
+  -> ?doc:string
+  -> ?params:(string * Gaea_adt.Value.t) list
+  -> ?template:Template.t
+  -> ?output_class:string
+  -> unit -> (t, string) result
+(** "A new process may be defined by editing an old process [...] In no
+    case is the old process overwritten": returns a {e new} process
+    (version 1 under the new name, or old-version+1 under the same
+    name), recording [derived_from].  Template edits only apply to
+    primitive processes. *)
+
+val is_primitive : t -> bool
+val is_compound : t -> bool
+val template : t -> Template.t option
+val steps : t -> step list
+val param : t -> string -> Gaea_adt.Value.t option
+val arg : t -> string -> arg_spec option
+val key : t -> string * int
+(** (name, version) — the process identity. *)
+
+val pp : Format.formatter -> t -> unit
+(** DEFINE PROCESS rendering, as in Fig 3. *)

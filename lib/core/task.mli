@@ -1,0 +1,25 @@
+(** Tasks (paper Section 2.1.2): "the instantiation of a process with
+    input data objects [...] recorded as a relationship among instances
+    of non-primitive classes" — the provenance record of every derived
+    object. *)
+
+type t = {
+  task_id : int;
+  process : string;
+  process_version : int;
+  inputs : (string * Gaea_storage.Oid.t list) list;
+  (** per process argument, the input object OIDs *)
+  params : (string * Gaea_adt.Value.t) list;
+  (** parameter values in force (copied from the process) *)
+  outputs : Gaea_storage.Oid.t list;
+  output_class : string;
+  clock : int;
+  (** logical timestamp (kernel-wide, monotone) *)
+}
+
+val input_oids : t -> Gaea_storage.Oid.t list
+(** All inputs, flattened, sorted, deduplicated. *)
+
+val to_sexp : t -> Gaea_adt.Sexp.t
+val of_sexp : Gaea_adt.Sexp.t -> (t, string) result
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,258 @@
+module Value = Gaea_adt.Value
+
+type expr =
+  | Const of Value.t
+  | Attr_of of string * string
+  | Param of string
+  | Anyof of expr
+  | Apply of string * expr list
+
+type assertion =
+  | Expr_true of expr
+  | Common_space of string
+  | Common_time of string
+  | Card_eq of string * int
+  | Card_ge of string * int
+
+type mapping = {
+  target : string;
+  rhs : expr;
+}
+
+type t = {
+  assertions : assertion list;
+  mappings : mapping list;
+}
+
+let make ~assertions ~mappings = { assertions; mappings }
+
+type env = {
+  arg_objects : string -> Value.t list option;
+  attr_value : string -> int -> string -> (Value.t, string) result;
+  spatial_attr : string -> string option;
+  temporal_attr : string -> string option;
+  param : string -> Value.t option;
+  apply : string -> Value.t list -> (Value.t, string) result;
+  arity : string -> [ `Fixed of int | `Variadic ] option;
+}
+
+let ( let* ) r f = Result.bind r f
+
+(* arg.attr: scalar args give the attribute value directly, SETOF args a
+   VSet of per-object attribute values. *)
+let eval_attr_of env arg attr =
+  match env.arg_objects arg with
+  | None -> Error (Printf.sprintf "unbound argument %s" arg)
+  | Some objs ->
+    let* values =
+      List.fold_left
+        (fun acc i ->
+          let* acc = acc in
+          let* v = env.attr_value arg i attr in
+          Ok (v :: acc))
+        (Ok [])
+        (List.init (List.length objs) Fun.id)
+    in
+    let values = List.rev values in
+    (match values with
+     | [ single ] -> Ok single
+     | _ -> Ok (Value.set values))
+
+let rec eval env = function
+  | Const v -> Ok v
+  | Param name ->
+    (match env.param name with
+     | Some v -> Ok v
+     | None -> Error (Printf.sprintf "unbound parameter %s" name))
+  | Attr_of (arg, attr) -> eval_attr_of env arg attr
+  | Anyof e ->
+    let* v = eval env e in
+    (match v with
+     | Value.VSet (x :: _) -> Ok x
+     | Value.VSet [] -> Error "ANYOF: empty set"
+     | other -> Ok other)
+  | Apply (opname, args) ->
+    let* values =
+      List.fold_left
+        (fun acc e ->
+          let* acc = acc in
+          let* v = eval env e in
+          Ok (v :: acc))
+        (Ok []) args
+    in
+    let values = List.rev values in
+    (* Splice sets through variadic operators: composite(bands) where
+       bands is SETOF image becomes composite(b1, b2, b3). *)
+    let values =
+      match env.arity opname with
+      | Some `Variadic ->
+        List.concat_map
+          (function
+            | Value.VSet items -> items
+            | v -> [ v ])
+          values
+      | Some (`Fixed _) | None -> values
+    in
+    env.apply opname values
+
+(* For card/common rules, arg.attr values as a plain list. *)
+let attr_values env arg attr =
+  match env.arg_objects arg with
+  | None -> Error (Printf.sprintf "unbound argument %s" arg)
+  | Some objs ->
+    let* values =
+      List.fold_left
+        (fun acc i ->
+          let* acc = acc in
+          let* v = env.attr_value arg i attr in
+          Ok (v :: acc))
+        (Ok [])
+        (List.init (List.length objs) Fun.id)
+    in
+    Ok (List.rev values)
+
+let check_assertion env a =
+  match a with
+  | Expr_true e ->
+    let* v = eval env e in
+    (match v with
+     | Value.VBool true -> Ok ()
+     | Value.VBool false ->
+       Error "assertion evaluated to false"
+     | other ->
+       Error
+         (Printf.sprintf "assertion evaluated to non-boolean %s"
+            (Value.to_display other)))
+  | Card_eq (arg, n) ->
+    (match env.arg_objects arg with
+     | None -> Error (Printf.sprintf "unbound argument %s" arg)
+     | Some objs ->
+       let c = List.length objs in
+       if c = n then Ok ()
+       else Error (Printf.sprintf "card(%s) = %d, requires exactly %d" arg c n))
+  | Card_ge (arg, n) ->
+    (match env.arg_objects arg with
+     | None -> Error (Printf.sprintf "unbound argument %s" arg)
+     | Some objs ->
+       let c = List.length objs in
+       if c >= n then Ok ()
+       else Error (Printf.sprintf "card(%s) = %d, requires at least %d" arg c n))
+  | Common_space arg ->
+    (match env.spatial_attr arg with
+     | None ->
+       Error (Printf.sprintf "argument %s has no spatial extent" arg)
+     | Some attr ->
+       let* values = attr_values env arg attr in
+       let* result = env.apply "common_boxes" [ Value.set values ] in
+       (match result with
+        | Value.VBool true -> Ok ()
+        | _ ->
+          Error
+            (Printf.sprintf "common(%s.%s) violated: extents do not overlap"
+               arg attr)))
+  | Common_time arg ->
+    (match env.temporal_attr arg with
+     | None ->
+       Error (Printf.sprintf "argument %s has no temporal extent" arg)
+     | Some attr ->
+       let* values = attr_values env arg attr in
+       let* result = env.apply "common_times" [ Value.set values ] in
+       (match result with
+        | Value.VBool true -> Ok ()
+        | _ ->
+          Error
+            (Printf.sprintf "common(%s.%s) violated: timestamps disagree" arg
+               attr)))
+
+let check_assertions env t =
+  List.fold_left
+    (fun acc a ->
+      let* () = acc in
+      match check_assertion env a with
+      | Ok () -> Ok ()
+      | Error e -> Error (Printf.sprintf "%s" e))
+    (Ok ()) t.assertions
+
+let eval_mappings env t =
+  let* pairs =
+    List.fold_left
+      (fun acc m ->
+        let* acc = acc in
+        match eval env m.rhs with
+        | Ok v -> Ok ((m.target, v) :: acc)
+        | Error e -> Error (Printf.sprintf "mapping %s: %s" m.target e))
+      (Ok []) t.mappings
+  in
+  Ok (List.rev pairs)
+
+let rec expr_to_string = function
+  | Const v -> Value.to_display v
+  | Attr_of (arg, attr) -> Printf.sprintf "%s.%s" arg attr
+  | Param p -> Printf.sprintf "$%s" p
+  | Anyof e -> Printf.sprintf "ANYOF %s" (expr_to_string e)
+  | Apply (op, args) ->
+    Printf.sprintf "%s(%s)" op
+      (String.concat ", " (List.map expr_to_string args))
+
+let assertion_to_string = function
+  | Expr_true e -> expr_to_string e
+  | Common_space arg -> Printf.sprintf "common(%s.spatialextent)" arg
+  | Common_time arg -> Printf.sprintf "common(%s.timestamp)" arg
+  | Card_eq (arg, n) -> Printf.sprintf "card(%s) = %d" arg n
+  | Card_ge (arg, n) -> Printf.sprintf "card(%s) >= %d" arg n
+
+let pp ~output_class fmt t =
+  Format.fprintf fmt "@[<v 2>TEMPLATE {";
+  Format.fprintf fmt "@ @[<v 2>ASSERTIONS:";
+  List.iter
+    (fun a -> Format.fprintf fmt "@ %s;" (assertion_to_string a))
+    t.assertions;
+  Format.fprintf fmt "@]@ @[<v 2>MAPPINGS:";
+  List.iter
+    (fun m ->
+      Format.fprintf fmt "@ %s.%s = %s;" output_class m.target
+        (expr_to_string m.rhs))
+    t.mappings;
+  Format.fprintf fmt "@]@]@ }"
+
+let rec expr_params acc = function
+  | Const _ -> acc
+  | Attr_of _ -> acc
+  | Param p -> p :: acc
+  | Anyof e -> expr_params acc e
+  | Apply (_, args) -> List.fold_left expr_params acc args
+
+let free_params t =
+  let from_assertions =
+    List.fold_left
+      (fun acc -> function
+        | Expr_true e -> expr_params acc e
+        | Common_space _ | Common_time _ | Card_eq _ | Card_ge _ -> acc)
+      [] t.assertions
+  in
+  let all =
+    List.fold_left
+      (fun acc m -> expr_params acc m.rhs)
+      from_assertions t.mappings
+  in
+  List.sort_uniq compare all
+
+let rec expr_args acc = function
+  | Const _ | Param _ -> acc
+  | Attr_of (arg, _) -> arg :: acc
+  | Anyof e -> expr_args acc e
+  | Apply (_, args) -> List.fold_left expr_args acc args
+
+let referenced_args t =
+  let from_assertions =
+    List.fold_left
+      (fun acc -> function
+        | Expr_true e -> expr_args acc e
+        | Common_space a | Common_time a | Card_eq (a, _) | Card_ge (a, _) ->
+          a :: acc)
+      [] t.assertions
+  in
+  let all =
+    List.fold_left (fun acc m -> expr_args acc m.rhs) from_assertions t.mappings
+  in
+  List.sort_uniq compare all

@@ -1,0 +1,55 @@
+(** Absolute time — the [abstime] primitive class of the paper.
+
+    A pure (no [Unix] dependency) proleptic-Gregorian timestamp with
+    second resolution, represented as seconds relative to the epoch
+    1970-01-01T00:00:00.  Supports dates well before 1970 (negative
+    values), which matters for historical climate records. *)
+
+type t
+
+val epoch : t
+(** 1970-01-01 00:00:00 *)
+
+val of_seconds : int -> t
+val to_seconds : t -> int
+
+val of_ymd : int -> int -> int -> t
+(** [of_ymd y m d] is midnight on that civil date.
+    @raise Invalid_argument on an invalid civil date. *)
+
+val of_ymd_hms : int -> int -> int -> int -> int -> int -> t
+(** @raise Invalid_argument on an invalid date or time of day. *)
+
+val to_ymd : t -> int * int * int
+val to_ymd_hms : t -> (int * int * int) * (int * int * int)
+
+val is_valid_date : int -> int -> int -> bool
+val is_leap_year : int -> bool
+val days_in_month : int -> int -> int
+
+val add_seconds : t -> int -> t
+val add_days : t -> int -> t
+val add_months : t -> int -> t
+(** Civil-calendar month arithmetic; day-of-month is clamped (Jan 31 + 1
+    month = Feb 28/29). Time of day is preserved. *)
+
+val add_years : t -> int -> t
+
+val diff_seconds : t -> t -> int
+(** [diff_seconds a b] = a - b in seconds. *)
+
+val diff_days : t -> t -> float
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val to_string : t -> string
+(** ISO-8601, e.g. ["1986-01-15T00:00:00"]. *)
+
+val of_string : string -> t option
+(** Parses ["YYYY-MM-DD"] or ["YYYY-MM-DDTHH:MM:SS"] (also with a space
+    separator). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+(** Allen's thirteen interval relations (Allen, CACM 1983), cited by the
+    paper as the formal semantics for the temporal extent.
+
+    Relations are defined over {e proper} intervals (positive duration). *)
+
+type relation =
+  | Before        (** a entirely precedes b, with a gap *)
+  | Meets         (** a.stop = b.start *)
+  | Overlaps      (** a starts first, they overlap, b ends last *)
+  | Starts        (** same start, a ends first *)
+  | During        (** a strictly inside b *)
+  | Finishes      (** same end, a starts later *)
+  | Equal
+  | After         (** inverse of Before *)
+  | Met_by
+  | Overlapped_by
+  | Started_by
+  | Contains
+  | Finished_by
+
+val all : relation list
+(** All 13 relations, fixed order. *)
+
+val relate : Interval.t -> Interval.t -> relation
+(** The unique relation holding between two proper intervals.
+    @raise Invalid_argument if either interval is an instant. *)
+
+val inverse : relation -> relation
+(** [relate b a = inverse (relate a b)]. *)
+
+val compose : relation -> relation -> relation list
+(** Allen's composition: the set of relations possibly holding between
+    [a] and [c] given [relate a b] and [relate b c].  Computed exactly
+    (once, memoized) by exhaustive small-model enumeration. *)
+
+val holds : relation -> Interval.t -> Interval.t -> bool
+
+val to_string : relation -> string
+val of_string : string -> relation option
+val equal_relation : relation -> relation -> bool
+val pp : Format.formatter -> relation -> unit

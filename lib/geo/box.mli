@@ -1,0 +1,44 @@
+(** Two-dimensional axis-aligned bounding boxes — the [box] primitive
+    class used for the SPATIAL EXTENT of Gaea classes. *)
+
+type t = private { xmin : float; ymin : float; xmax : float; ymax : float }
+
+val make : xmin:float -> ymin:float -> xmax:float -> ymax:float -> t
+(** @raise Invalid_argument if [xmax < xmin] or [ymax < ymin], or any
+    coordinate is not finite. *)
+
+val of_corners : float * float -> float * float -> t
+(** Corners in any order. *)
+
+val point : float -> float -> t
+val xmin : t -> float
+val ymin : t -> float
+val xmax : t -> float
+val ymax : t -> float
+val width : t -> float
+val height : t -> float
+val area : t -> float
+val center : t -> float * float
+val is_degenerate : t -> bool
+
+val contains_point : t -> float * float -> bool
+val contains : outer:t -> inner:t -> bool
+val overlaps : t -> t -> bool
+(** Closed-box overlap: touching edges count. *)
+
+val intersection : t -> t -> t option
+val hull : t -> t -> t
+val hull_list : t list -> t option
+val expand : t -> float -> t
+(** Grow (or, if negative, shrink — clamped at the center) each side. *)
+
+val translate : t -> dx:float -> dy:float -> t
+val scale_about_center : t -> float -> t
+val equal : t -> t -> bool
+val approx_equal : ?eps:float -> t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val of_string : string -> t option
+(** Parses the form ["(xmin,ymin,xmax,ymax)"]. *)
+
+val pp : Format.formatter -> t -> unit

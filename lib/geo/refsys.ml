@@ -1,0 +1,87 @@
+type t =
+  | Lat_long
+  | Utm of int
+  | Local of string
+
+type unit_ =
+  | Degree
+  | Meter
+  | Kilometer
+
+let utm zone =
+  if zone < 1 || zone > 60 then
+    invalid_arg (Printf.sprintf "Refsys.utm: zone %d outside 1..60" zone);
+  Utm zone
+
+let equal a b =
+  match a, b with
+  | Lat_long, Lat_long -> true
+  | Utm z1, Utm z2 -> z1 = z2
+  | Local s1, Local s2 -> String.equal s1 s2
+  | (Lat_long | Utm _ | Local _), _ -> false
+
+let equal_unit a b =
+  match a, b with
+  | Degree, Degree | Meter, Meter | Kilometer, Kilometer -> true
+  | (Degree | Meter | Kilometer), _ -> false
+
+let default_unit = function
+  | Lat_long -> Degree
+  | Utm _ | Local _ -> Meter
+
+let to_string = function
+  | Lat_long -> "long/lat"
+  | Utm z -> Printf.sprintf "UTM-%d" z
+  | Local s -> s
+
+let of_string s =
+  let lower = String.lowercase_ascii (String.trim s) in
+  match lower with
+  | "long/lat" | "lat/long" | "latlong" | "geographic" -> Some Lat_long
+  | _ ->
+    if String.length lower > 4 && String.sub lower 0 4 = "utm-" then
+      match int_of_string_opt (String.sub lower 4 (String.length lower - 4)) with
+      | Some z when z >= 1 && z <= 60 -> Some (Utm z)
+      | Some _ | None -> None
+    else if String.length lower >= 3 && String.sub lower 0 3 = "utm" then
+      match
+        int_of_string_opt
+          (String.trim (String.sub lower 3 (String.length lower - 3)))
+      with
+      | Some z when z >= 1 && z <= 60 -> Some (Utm z)
+      | Some _ | None -> None
+    else if lower = "" then None
+    else Some (Local (String.trim s))
+
+let unit_to_string = function
+  | Degree -> "degree"
+  | Meter -> "meter"
+  | Kilometer -> "kilometer"
+
+let unit_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "degree" | "degrees" | "deg" -> Some Degree
+  | "meter" | "meters" | "m" -> Some Meter
+  | "kilometer" | "kilometers" | "km" -> Some Kilometer
+  | _ -> None
+
+let convert_length ~from_ ~to_ x =
+  let to_meters = function
+    | Meter -> Some x
+    | Kilometer -> Some (x *. 1000.)
+    | Degree -> None
+  in
+  match from_, to_ with
+  | Degree, Degree -> Some x
+  | Degree, (Meter | Kilometer) | (Meter | Kilometer), Degree -> None
+  | _ ->
+    (match to_meters from_ with
+     | None -> None
+     | Some m ->
+       (match to_ with
+        | Meter -> Some m
+        | Kilometer -> Some (m /. 1000.)
+        | Degree -> None))
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let pp_unit fmt u = Format.pp_print_string fmt (unit_to_string u)

@@ -1,0 +1,42 @@
+(** Spatial reference systems and measurement units.
+
+    Gaea classes carry a [ref_system] and a [ref_unit] attribute (cf. the
+    [landcover] class definition in the paper, Section 2.1.2).  This module
+    gives those strings first-class, checkable representations. *)
+
+type t =
+  | Lat_long            (** geographic coordinates, degrees *)
+  | Utm of int          (** Universal Transverse Mercator, zone 1..60 *)
+  | Local of string     (** a named local / ad-hoc reference system *)
+
+type unit_ =
+  | Degree
+  | Meter
+  | Kilometer
+
+val utm : int -> t
+(** [utm zone] builds a UTM reference system.
+    @raise Invalid_argument if [zone] is outside 1..60. *)
+
+val equal : t -> t -> bool
+val equal_unit : unit_ -> unit_ -> bool
+
+val default_unit : t -> unit_
+(** The natural unit of a reference system: degrees for [Lat_long],
+    meters for UTM and local systems. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+(** Inverse of [to_string]; also accepts the free-form strings used in
+    class definitions ("long/lat", "UTM-18", ...). *)
+
+val unit_to_string : unit_ -> string
+val unit_of_string : string -> unit_ option
+
+val convert_length : from_:unit_ -> to_:unit_ -> float -> float option
+(** Convert a length measurement between metric units.  Returns [None]
+    when the conversion crosses the angular/metric divide (degrees cannot
+    be converted to meters without a latitude). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_unit : Format.formatter -> unit_ -> unit

@@ -1,0 +1,84 @@
+type binding = (Net.place * Net.token list) list
+
+let default_binding net marking tid =
+  match Net.transition_info net tid with
+  | None -> None
+  | Some info ->
+    let rec gather acc = function
+      | [] -> Some (List.rev acc)
+      | (p, k) :: rest ->
+        let toks = Marking.tokens marking p in
+        if List.length toks < k then None else gather ((p, toks) :: acc) rest
+    in
+    gather [] info.Net.inputs
+
+let guard_ok info binding =
+  match info.Net.guard with
+  | None -> true
+  | Some g -> g binding
+
+let enabled net marking tid =
+  match Net.transition_info net tid with
+  | None -> false
+  | Some info ->
+    (match default_binding net marking tid with
+     | None -> false
+     | Some b -> guard_ok info b)
+
+let binding_valid marking info binding =
+  List.for_all
+    (fun (p, k) ->
+      match List.assoc_opt p binding with
+      | None -> false
+      | Some toks ->
+        List.length toks >= k
+        && List.for_all (fun tok -> Marking.mem marking p tok) toks)
+    info.Net.inputs
+  && List.for_all
+       (fun (p, _) -> List.exists (fun (q, _) -> q = p) info.Net.inputs)
+       binding
+
+let enabled_with net marking tid binding =
+  match Net.transition_info net tid with
+  | None -> false
+  | Some info -> binding_valid marking info binding && guard_ok info binding
+
+let enabled_transitions net marking =
+  List.filter_map
+    (fun info ->
+      if enabled net marking info.Net.t_id then Some info.Net.t_id else None)
+    (Net.transitions net)
+
+let produce marking info ~fresh =
+  let produced =
+    List.map (fun p -> (p, fresh ())) info.Net.outputs
+  in
+  let marking =
+    List.fold_left (fun m (p, tok) -> Marking.add m p tok) marking produced
+  in
+  (marking, produced)
+
+let fire net marking tid ~fresh =
+  match Net.transition_info net tid with
+  | None -> Error (Printf.sprintf "unknown transition %d" tid)
+  | Some info ->
+    (match default_binding net marking tid with
+     | None ->
+       Error
+         (Printf.sprintf "%s: input threshold not met" info.Net.t_name)
+     | Some b ->
+       if not (guard_ok info b) then
+         Error (Printf.sprintf "%s: guard rejected the binding" info.Net.t_name)
+       else Ok (produce marking info ~fresh))
+
+let fire_with net marking tid binding ~fresh =
+  match Net.transition_info net tid with
+  | None -> Error (Printf.sprintf "unknown transition %d" tid)
+  | Some info ->
+    if not (binding_valid marking info binding) then
+      Error
+        (Printf.sprintf "%s: binding does not satisfy the input thresholds"
+           info.Net.t_name)
+    else if not (guard_ok info binding) then
+      Error (Printf.sprintf "%s: guard rejected the binding" info.Net.t_name)
+    else Ok (produce marking info ~fresh)

@@ -1,0 +1,42 @@
+(** The Gaea-modified firing rules (paper Section 2.1.6).
+
+    Modifications with respect to classical Petri nets:
+    + firing does {e not} remove input tokens ("tokens used for
+      derivation are permanent and can be reused");
+    + the number of input arcs denotes a {e minimum}: "when a transition
+      is fired, more tokens than the threshold may be used";
+    + a guard over the chosen tokens must hold ("only when such
+      relationships are satisfied will the transition be enabled and
+      fired"). *)
+
+type binding = (Net.place * Net.token list) list
+(** The tokens a firing consumes conceptually: for each input place, the
+    list of tokens offered to the transition (at least the threshold). *)
+
+val default_binding : Net.t -> Marking.t -> Net.transition -> binding option
+(** Offer {e all} available tokens at each input place (the paper's
+    PCA example: "two input data images are enough, but more than two
+    images are usually used").  [None] if a threshold is unmet or the
+    transition is unknown. *)
+
+val enabled : Net.t -> Marking.t -> Net.transition -> bool
+(** Thresholds met by the default binding and guard satisfied. *)
+
+val enabled_with : Net.t -> Marking.t -> Net.transition -> binding -> bool
+(** Like {!enabled} but for an explicit token selection; checks the
+    binding covers every input place with enough tokens actually present
+    in the marking. *)
+
+val enabled_transitions : Net.t -> Marking.t -> Net.transition list
+
+val fire :
+  Net.t -> Marking.t -> Net.transition -> fresh:(unit -> Net.token)
+  -> (Marking.t * (Net.place * Net.token) list, string) result
+(** Fire with the default binding: inputs are kept, one fresh token is
+    produced per output place.  Returns the new marking and the
+    produced (place, token) pairs.  Errors when not enabled. *)
+
+val fire_with :
+  Net.t -> Marking.t -> Net.transition -> binding
+  -> fresh:(unit -> Net.token)
+  -> (Marking.t * (Net.place * Net.token) list, string) result

@@ -1,0 +1,109 @@
+type literal =
+  | L_int of int
+  | L_float of float
+  | L_string of string
+  | L_bool of bool
+  | L_date of int * int * int
+  | L_box of float * float * float * float
+
+type expr =
+  | E_lit of literal
+  | E_attr of string * string
+  | E_param of string
+  | E_anyof of expr
+  | E_apply of string * expr list
+
+type comparison = C_eq | C_neq | C_lt | C_le | C_gt | C_ge
+
+type predicate =
+  | P_compare of string * comparison * literal
+  | P_overlaps of string * literal
+  | P_at of string * literal
+
+type order = Asc | Desc
+
+type select = {
+  projection : string list;
+  source : string;
+  where_ : predicate list;
+  order_by : (string * order) option;
+  limit : int option;
+}
+
+type assertion_syntax =
+  | A_expr of expr
+  | A_card_eq of string * int
+  | A_card_ge of string * int
+  | A_common_space of string
+  | A_common_time of string
+
+type arg_syntax = {
+  sa_name : string;
+  sa_setof : bool;
+  sa_class : string;
+  sa_card : (int * int option) option;
+}
+
+type statement =
+  | Define_class of {
+      name : string;
+      attrs : (string * string) list;
+      spatial : string option;
+      temporal : string option;
+      derived_by : string option;
+    }
+  | Define_concept of {
+      name : string;
+      members : string list;
+      isa : string option;
+    }
+  | Define_process of {
+      name : string;
+      output : string;
+      args : arg_syntax list;
+      params : (string * literal) list;
+      assertions : assertion_syntax list;
+      mappings : (string * expr) list;
+    }
+  | Insert of { cls : string; values : (string * expr) list }
+  | Select of select
+  | Derive of { cls : string; at : literal option; need : int option }
+  | Show_lineage of int
+  | Show_classes
+  | Show_processes
+  | Show_versions of string
+  | Show_concepts
+  | Show_tasks
+  | Show_operators of string option
+  | Show_plan of string
+  | Show_net
+  | Verify_object of int
+  | Verify_task of int
+  | Compare of int * int
+  | Begin_experiment of string
+  | Note of { experiment : string; text : string }
+  | Reproduce of string
+
+let statement_to_string = function
+  | Define_class { name; _ } -> "DEFINE CLASS " ^ name
+  | Define_concept { name; _ } -> "DEFINE CONCEPT " ^ name
+  | Define_process { name; _ } -> "DEFINE PROCESS " ^ name
+  | Insert { cls; _ } -> "INSERT INTO " ^ cls
+  | Select { source; _ } -> "SELECT FROM " ^ source
+  | Derive { cls; _ } -> "DERIVE " ^ cls
+  | Show_lineage oid -> Printf.sprintf "SHOW LINEAGE %d" oid
+  | Show_classes -> "SHOW CLASSES"
+  | Show_processes -> "SHOW PROCESSES"
+  | Show_versions p -> "SHOW VERSIONS OF " ^ p
+  | Show_concepts -> "SHOW CONCEPTS"
+  | Show_tasks -> "SHOW TASKS"
+  | Show_operators None -> "SHOW OPERATORS"
+  | Show_operators (Some t) -> "SHOW OPERATORS FOR " ^ t
+  | Show_plan cls -> "SHOW PLAN " ^ cls
+  | Show_net -> "SHOW NET"
+  | Verify_object oid -> Printf.sprintf "VERIFY %d" oid
+  | Verify_task id -> Printf.sprintf "VERIFY TASK %d" id
+  | Compare (a, b) -> Printf.sprintf "COMPARE %d %d" a b
+  | Begin_experiment e -> "BEGIN EXPERIMENT " ^ e
+  | Note { experiment; _ } -> "NOTE ON " ^ experiment
+  | Reproduce e -> "REPRODUCE " ^ e

@@ -1,0 +1,21 @@
+(** Statement execution (the Executor box of Fig 1). *)
+
+type t
+(** A session: kernel + experiment manager + current experiment. *)
+
+type response =
+  | Message of string
+  | Rows of {
+      columns : string list;
+      rows : (Gaea_storage.Oid.t * (string * Gaea_adt.Value.t) list) list;
+    }
+
+val create : ?kernel:Gaea_core.Kernel.t -> unit -> t
+val kernel : t -> Gaea_core.Kernel.t
+val experiments : t -> Gaea_core.Experiment.manager
+
+val execute : t -> Ast.statement -> (response, string) result
+(** DERIVE statements record their tasks into the current experiment
+    (after BEGIN EXPERIMENT). *)
+
+val format_response : response -> string

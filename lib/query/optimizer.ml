@@ -1,0 +1,143 @@
+module Value = Gaea_adt.Value
+module Kernel = Gaea_core.Kernel
+module Concept = Gaea_core.Concept
+module Derivation = Gaea_core.Derivation
+module Schema = Gaea_core.Schema
+module Table = Gaea_storage.Table
+module Stats = Gaea_storage.Stats
+module Backchain = Gaea_petri.Backchain
+module Abstime = Gaea_geo.Abstime
+module Box = Gaea_geo.Box
+
+let literal_value = function
+  | Ast.L_int i -> Value.int i
+  | Ast.L_float f -> Value.float f
+  | Ast.L_string s -> Value.string s
+  | Ast.L_bool b -> Value.bool b
+  | Ast.L_date (y, m, d) -> Value.abstime (Abstime.of_ymd y m d)
+  | Ast.L_box (xmin, ymin, xmax, ymax) ->
+    Value.box (Box.make ~xmin ~ymin ~xmax ~ymax)
+
+let resolve_source k source =
+  match Kernel.find_class k source with
+  | Some _ -> Ok [ source ]
+  | None ->
+    let concepts = Kernel.concepts k in
+    if Concept.mem concepts source then begin
+      match Concept.classes_of concepts source with
+      | [] -> Error (Printf.sprintf "concept %s has no member classes" source)
+      | classes -> Ok classes
+    end
+    else Error (Printf.sprintf "unknown class or concept %s" source)
+
+(* pick the best indexable predicate on the (first) class *)
+let choose_path k cls preds =
+  match Kernel.class_table k cls with
+  | None -> (Plan.Full_scan, preds, 1.0)
+  | Some tab ->
+    let stats = Stats.analyze_table tab in
+    let candidates =
+      List.filter_map
+        (fun pred ->
+          match pred with
+          | Ast.P_compare (attr, Ast.C_eq, lit)
+            when Table.has_hash_index tab attr
+                 || Table.has_btree_index tab attr ->
+            Some (pred, Plan.Index_eq (attr, literal_value lit),
+                  Stats.selectivity_eq stats attr)
+          | Ast.P_compare (attr, (Ast.C_lt | Ast.C_le), lit)
+            when Table.has_btree_index tab attr ->
+            Some (pred, Plan.Index_range (attr, None, Some (literal_value lit)), 0.3)
+          | Ast.P_compare (attr, (Ast.C_gt | Ast.C_ge), lit)
+            when Table.has_btree_index tab attr ->
+            Some (pred, Plan.Index_range (attr, Some (literal_value lit), None), 0.3)
+          | Ast.P_at (attr, lit) when Table.has_btree_index tab attr ->
+            (* same-day window *)
+            let v = literal_value lit in
+            (match v with
+             | Value.VAbstime t ->
+               Some
+                 ( pred,
+                   Plan.Index_range
+                     ( attr,
+                       Some (Value.abstime (Abstime.add_days t (-1))),
+                       Some (Value.abstime (Abstime.add_days t 1)) ),
+                   0.1 )
+             | _ -> None)
+          | _ -> None)
+        preds
+    in
+    (match
+       List.sort (fun (_, _, s1) (_, _, s2) -> Float.compare s1 s2) candidates
+     with
+     | (chosen, path, sel) :: _ ->
+       let residual = List.filter (fun p -> p != chosen) preds in
+       (path, residual, sel)
+     | [] -> (Plan.Full_scan, preds, 1.0))
+
+let plan_select k (s : Ast.select) =
+  match resolve_source k s.Ast.source with
+  | Error _ as e -> e
+  | Ok classes ->
+    let first = List.hd classes in
+    let path, residual, sel = choose_path k first s.Ast.where_ in
+    let total_rows =
+      List.fold_left
+        (fun acc cls -> acc + Kernel.count_objects k cls)
+        0 classes
+    in
+    let est_rows = float_of_int total_rows *. sel in
+    let est_cost =
+      match path with
+      | Plan.Full_scan -> float_of_int total_rows
+      | Plan.Index_eq _ | Plan.Index_range _ ->
+        (* index probe + qualifying rows; other classes still scan *)
+        est_rows +. 1.
+        +. float_of_int (total_rows - Kernel.count_objects k first)
+    in
+    Ok { Plan.classes; path; residual; est_rows; est_cost }
+
+let count_snapshots k cls =
+  match Kernel.find_class k cls with
+  | Some def ->
+    (match def.Schema.temporal_attr with
+     | Some tattr ->
+       List.length
+         (List.filter_map
+            (fun oid ->
+              match Kernel.object_attr k ~cls oid tattr with
+              | Some (Value.VAbstime t) -> Some t
+              | _ -> None)
+            (Kernel.objects_of_class k cls)
+          |> List.sort_uniq Abstime.compare)
+     | None -> 0)
+  | None -> 0
+
+let plan_materialize k ?(need = 1) ?at cls =
+  match Kernel.find_class k cls with
+  | None -> Plan.Impossible (Printf.sprintf "unknown class %s" cls)
+  | Some _ ->
+    let stored = Kernel.count_objects k cls in
+    if stored >= need && at = None then Plan.Stored stored
+    else begin
+      let interpolation =
+        match at with
+        | Some _ ->
+          let snaps = count_snapshots k cls in
+          if snaps >= 2 then Some (Plan.Interpolate { snapshots = snaps })
+          else None
+        | None -> None
+      in
+      match interpolation with
+      | Some p -> p
+      | None ->
+        (match Derivation.derivation_plan k ~need cls with
+         | Some plan ->
+           Plan.Derive
+             { firings = Backchain.cost plan; depth = Backchain.depth plan }
+         | None ->
+           if stored >= need then Plan.Stored stored
+           else
+             Plan.Impossible
+               (Printf.sprintf "%s not derivable from current data" cls))
+    end

@@ -1,0 +1,18 @@
+(** Access-path and materialization planning. *)
+
+val literal_value : Ast.literal -> Gaea_adt.Value.t
+(** Dates become [VAbstime] (midnight), boxes [VBox]. *)
+
+val plan_select :
+  Gaea_core.Kernel.t -> Ast.select -> (Plan.select_plan, string) result
+(** Resolves the source (class name, or concept name expanding to its
+    classes), picks the cheapest access path using table statistics and
+    available indexes, and leaves the remaining predicates residual. *)
+
+val plan_materialize :
+  Gaea_core.Kernel.t -> ?need:int -> ?at:Gaea_geo.Abstime.t -> string
+  -> Plan.materialize_plan
+(** What DERIVE would do for the class: stored objects, interpolation
+    (only when [at] is given and two snapshots bracket it), or a
+    backward-chaining derivation (cost and depth from the net), in the
+    paper's priority order. *)

@@ -1,0 +1,393 @@
+open Ast
+
+type state = {
+  mutable toks : Lexer.token list;
+}
+
+exception Syntax of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Syntax m)) fmt
+
+let peek st =
+  match st.toks with
+  | t :: _ -> t
+  | [] -> Lexer.Eof
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok what =
+  let t = next st in
+  if t <> tok then
+    fail "expected %s, found %s" what (Lexer.token_to_string t)
+
+let expect_kw st kw = expect st (Lexer.Keyword kw) kw
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let accept_kw st kw = accept st (Lexer.Keyword kw)
+
+let ident st =
+  match next st with
+  | Lexer.Ident s -> s
+  | Lexer.Keyword s -> s (* allow keywords as names where unambiguous *)
+  | t -> fail "expected identifier, found %s" (Lexer.token_to_string t)
+
+let int_lit st =
+  match next st with
+  | Lexer.Int_lit i -> i
+  | t -> fail "expected integer, found %s" (Lexer.token_to_string t)
+
+let string_lit st =
+  match next st with
+  | Lexer.String_lit s -> s
+  | t -> fail "expected string literal, found %s" (Lexer.token_to_string t)
+
+let float_like st =
+  match next st with
+  | Lexer.Float_lit f -> f
+  | Lexer.Int_lit i -> float_of_int i
+  | t -> fail "expected number, found %s" (Lexer.token_to_string t)
+
+let parse_date_string s =
+  match Gaea_geo.Abstime.of_string s with
+  | Some t ->
+    let y, m, d = Gaea_geo.Abstime.to_ymd t in
+    L_date (y, m, d)
+  | None -> fail "bad date literal '%s' (expected YYYY-MM-DD)" s
+
+let rec literal st =
+  match next st with
+  | Lexer.Int_lit i -> L_int i
+  | Lexer.Float_lit f -> L_float f
+  | Lexer.String_lit s -> L_string s
+  | Lexer.Keyword "TRUE" -> L_bool true
+  | Lexer.Keyword "FALSE" -> L_bool false
+  | Lexer.Keyword "DATE" -> parse_date_string (string_lit st)
+  | Lexer.Keyword "BOX" ->
+    expect st Lexer.Lparen "(";
+    let a = float_like st in
+    expect st Lexer.Comma ",";
+    let b = float_like st in
+    expect st Lexer.Comma ",";
+    let c = float_like st in
+    expect st Lexer.Comma ",";
+    let d = float_like st in
+    expect st Lexer.Rparen ")";
+    L_box (a, b, c, d)
+  | t -> fail "expected literal, found %s" (Lexer.token_to_string t)
+
+and expr st =
+  match peek st with
+  | Lexer.Param p ->
+    advance st;
+    E_param p
+  | Lexer.Keyword "ANYOF" ->
+    advance st;
+    E_anyof (expr st)
+  | Lexer.Keyword "BOX" | Lexer.Keyword "DATE" | Lexer.Keyword "TRUE"
+  | Lexer.Keyword "FALSE" | Lexer.Int_lit _ | Lexer.Float_lit _
+  | Lexer.String_lit _ ->
+    E_lit (literal st)
+  | Lexer.Ident name ->
+    advance st;
+    (match peek st with
+     | Lexer.Dot ->
+       advance st;
+       let attr = ident st in
+       E_attr (name, attr)
+     | Lexer.Lparen ->
+       advance st;
+       let args = ref [] in
+       if peek st <> Lexer.Rparen then begin
+         args := [ expr st ];
+         while accept st Lexer.Comma do
+           args := expr st :: !args
+         done
+       end;
+       expect st Lexer.Rparen ")";
+       E_apply (name, List.rev !args)
+     | _ -> fail "expected '.' or '(' after %s in expression" name)
+  | t -> fail "unexpected %s in expression" (Lexer.token_to_string t)
+
+let assertion st =
+  match peek st with
+  | Lexer.Keyword "COMMON" ->
+    advance st;
+    expect st Lexer.Lparen "(";
+    let arg = ident st in
+    expect st Lexer.Dot ".";
+    let attr = ident st in
+    expect st Lexer.Rparen ")";
+    let lower = String.lowercase_ascii attr in
+    if
+      lower = "timestamp"
+      ||
+      (* substring search for "time" *)
+      (let found = ref false in
+       String.iteri
+         (fun i _ ->
+           if
+             i + 4 <= String.length lower
+             && String.sub lower i 4 = "time"
+           then found := true)
+         lower;
+       !found)
+    then A_common_time arg
+    else A_common_space arg
+  | Lexer.Keyword "CARD" ->
+    advance st;
+    expect st Lexer.Lparen "(";
+    let arg = ident st in
+    expect st Lexer.Rparen ")";
+    (match next st with
+     | Lexer.Eq -> A_card_eq (arg, int_lit st)
+     | Lexer.Ge -> A_card_ge (arg, int_lit st)
+     | t -> fail "expected = or >= after card(), found %s" (Lexer.token_to_string t))
+  | _ -> A_expr (expr st)
+
+let arg_spec st =
+  let name = ident st in
+  let setof = accept_kw st "SETOF" in
+  let cls = ident st in
+  let card =
+    if accept_kw st "CARD" then begin
+      let lo = int_lit st in
+      if accept st Lexer.Dot then begin
+        expect st Lexer.Dot ".";
+        let hi = int_lit st in
+        Some (lo, Some hi)
+      end
+      else Some (lo, None)
+    end
+    else None
+  in
+  { sa_name = name; sa_setof = setof; sa_class = cls; sa_card = card }
+
+let define_class st =
+  let name = ident st in
+  expect st Lexer.Lparen "(";
+  let attrs = ref [] in
+  let attr () =
+    let a = ident st in
+    let ty = ident st in
+    attrs := (a, ty) :: !attrs
+  in
+  attr ();
+  while accept st Lexer.Comma do
+    attr ()
+  done;
+  expect st Lexer.Rparen ")";
+  let spatial = if accept_kw st "SPATIAL" then Some (ident st) else None in
+  let temporal = if accept_kw st "TEMPORAL" then Some (ident st) else None in
+  let derived_by =
+    if accept_kw st "DERIVED" then begin
+      expect_kw st "BY";
+      Some (ident st)
+    end
+    else None
+  in
+  Define_class
+    { name; attrs = List.rev !attrs; spatial; temporal; derived_by }
+
+let define_concept st =
+  let name = ident st in
+  let members = ref [] in
+  if accept_kw st "MEMBERS" then begin
+    expect st Lexer.Lparen "(";
+    members := [ ident st ];
+    while accept st Lexer.Comma do
+      members := ident st :: !members
+    done;
+    expect st Lexer.Rparen ")"
+  end;
+  let isa = if accept_kw st "ISA" then Some (ident st) else None in
+  Define_concept { name; members = List.rev !members; isa }
+
+let define_process st =
+  let name = ident st in
+  expect_kw st "OUTPUT";
+  let output = ident st in
+  expect_kw st "ARGS";
+  expect st Lexer.Lparen "(";
+  let args = ref [ arg_spec st ] in
+  while accept st Lexer.Comma do
+    args := arg_spec st :: !args
+  done;
+  expect st Lexer.Rparen ")";
+  let params = ref [] in
+  while accept_kw st "PARAM" do
+    let p = ident st in
+    expect st Lexer.Eq "=";
+    params := (p, literal st) :: !params
+  done;
+  let assertions = ref [] in
+  while accept_kw st "ASSERT" do
+    assertions := assertion st :: !assertions
+  done;
+  let mappings = ref [] in
+  while accept_kw st "MAP" do
+    let attr = ident st in
+    expect st Lexer.Eq "=";
+    mappings := (attr, expr st) :: !mappings
+  done;
+  expect_kw st "END";
+  Define_process
+    { name;
+      output;
+      args = List.rev !args;
+      params = List.rev !params;
+      assertions = List.rev !assertions;
+      mappings = List.rev !mappings }
+
+let predicate st =
+  let attr = ident st in
+  match next st with
+  | Lexer.Eq -> P_compare (attr, C_eq, literal st)
+  | Lexer.Neq -> P_compare (attr, C_neq, literal st)
+  | Lexer.Lt -> P_compare (attr, C_lt, literal st)
+  | Lexer.Le -> P_compare (attr, C_le, literal st)
+  | Lexer.Gt -> P_compare (attr, C_gt, literal st)
+  | Lexer.Ge -> P_compare (attr, C_ge, literal st)
+  | Lexer.Keyword "OVERLAPS" -> P_overlaps (attr, literal st)
+  | Lexer.Keyword "AT" -> P_at (attr, literal st)
+  | t -> fail "expected comparison after %s, found %s" attr (Lexer.token_to_string t)
+
+let select st =
+  let projection =
+    if accept st Lexer.Star then []
+    else begin
+      let cols = ref [ ident st ] in
+      while accept st Lexer.Comma do
+        cols := ident st :: !cols
+      done;
+      List.rev !cols
+    end
+  in
+  expect_kw st "FROM";
+  let source = ident st in
+  let where_ = ref [] in
+  if accept_kw st "WHERE" then begin
+    where_ := [ predicate st ];
+    while accept_kw st "AND" do
+      where_ := predicate st :: !where_
+    done
+  end;
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let attr = ident st in
+      let dir =
+        if accept_kw st "DESC" then Desc
+        else begin
+          ignore (accept_kw st "ASC");
+          Asc
+        end
+      in
+      Some (attr, dir)
+    end
+    else None
+  in
+  let limit = if accept_kw st "LIMIT" then Some (int_lit st) else None in
+  Select { projection; source; where_ = List.rev !where_; order_by; limit }
+
+let statement st =
+  match next st with
+  | Lexer.Keyword "DEFINE" ->
+    (match next st with
+     | Lexer.Keyword "CLASS" -> define_class st
+     | Lexer.Keyword "CONCEPT" -> define_concept st
+     | Lexer.Keyword "PROCESS" -> define_process st
+     | t -> fail "expected CLASS, CONCEPT or PROCESS, found %s" (Lexer.token_to_string t))
+  | Lexer.Keyword "INSERT" ->
+    expect_kw st "INTO";
+    let cls = ident st in
+    expect st Lexer.Lparen "(";
+    let values = ref [] in
+    let pair () =
+      let attr = ident st in
+      expect st Lexer.Eq "=";
+      values := (attr, expr st) :: !values
+    in
+    pair ();
+    while accept st Lexer.Comma do
+      pair ()
+    done;
+    expect st Lexer.Rparen ")";
+    Insert { cls; values = List.rev !values }
+  | Lexer.Keyword "SELECT" -> select st
+  | Lexer.Keyword "DERIVE" ->
+    let cls = ident st in
+    let at = if accept_kw st "AT" then Some (literal st) else None in
+    let need = if accept_kw st "NEED" then Some (int_lit st) else None in
+    Derive { cls; at; need }
+  | Lexer.Keyword "SHOW" ->
+    (match next st with
+     | Lexer.Keyword "CLASSES" -> Show_classes
+     | Lexer.Keyword "PROCESSES" -> Show_processes
+     | Lexer.Keyword "CONCEPTS" -> Show_concepts
+     | Lexer.Keyword "TASKS" -> Show_tasks
+     | Lexer.Keyword "NET" -> Show_net
+     | Lexer.Keyword "LINEAGE" -> Show_lineage (int_lit st)
+     | Lexer.Keyword "PLAN" -> Show_plan (ident st)
+     | Lexer.Keyword "VERSIONS" ->
+       expect_kw st "OF";
+       Show_versions (ident st)
+     | Lexer.Keyword "OPERATORS" ->
+       if accept_kw st "FOR" then Show_operators (Some (ident st))
+       else Show_operators None
+     | t -> fail "unknown SHOW target %s" (Lexer.token_to_string t))
+  | Lexer.Keyword "VERIFY" ->
+    if accept_kw st "TASK" then Verify_task (int_lit st)
+    else Verify_object (int_lit st)
+  | Lexer.Keyword "COMPARE" ->
+    let a = int_lit st in
+    let b = int_lit st in
+    Compare (a, b)
+  | Lexer.Keyword "BEGIN" ->
+    expect_kw st "EXPERIMENT";
+    Begin_experiment (ident st)
+  | Lexer.Keyword "NOTE" ->
+    let e = ident st in
+    Note { experiment = e; text = string_lit st }
+  | Lexer.Keyword "REPRODUCE" -> Reproduce (ident st)
+  | t -> fail "unexpected %s at start of statement" (Lexer.token_to_string t)
+
+let parse src =
+  match Lexer.tokenize src with
+  | Error e -> Error e
+  | Ok toks ->
+    let st = { toks } in
+    (try
+       let stmts = ref [] in
+       while peek st <> Lexer.Eof do
+         stmts := statement st :: !stmts;
+         (* statements are ; separated; trailing ; optional before EOF *)
+         if peek st <> Lexer.Eof then expect st Lexer.Semicolon ";"
+         else ();
+         (* swallow extra semicolons *)
+         while accept st Lexer.Semicolon do
+           ()
+         done
+       done;
+       Ok (List.rev !stmts)
+     with Syntax m -> Error m)
+
+let parse_one src =
+  match parse src with
+  | Error _ as e -> e
+  | Ok [ s ] -> Ok s
+  | Ok [] -> Error "empty input"
+  | Ok _ -> Error "expected exactly one statement"

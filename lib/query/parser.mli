@@ -1,0 +1,26 @@
+(** Recursive-descent parser for GaeaQL (the Parser box of Fig 1).
+
+    Statement grammar (see README for the full reference):
+    {v
+    DEFINE CLASS name (attr type, ...) [SPATIAL a] [TEMPORAL a] [DERIVED BY p];
+    DEFINE CONCEPT name [MEMBERS (c, ...)] [ISA super];
+    DEFINE PROCESS name OUTPUT cls ARGS (a [SETOF] cls [CARD n[..m]], ...)
+        [PARAM p = lit ...] [ASSERT assertion ...] MAP attr = expr ... END;
+    INSERT INTO cls (attr = expr, ...);
+    SELECT *|attrs FROM class-or-concept [WHERE pred AND ...]
+        [ORDER BY attr [ASC|DESC]] [LIMIT n];
+    DERIVE cls [AT date] [NEED n];
+    SHOW CLASSES | PROCESSES | CONCEPTS | TASKS | NET | OPERATORS [FOR ty]
+        | LINEAGE oid | PLAN cls | VERSIONS OF proc;
+    VERIFY oid;  VERIFY TASK id;  COMPARE oid oid;
+    BEGIN EXPERIMENT name;  NOTE name 'text';  REPRODUCE name;
+    v}
+
+    In [COMMON(arg.attr)] assertions the attribute decides the rule:
+    ["timestamp"] (or any name containing "time") gives the temporal
+    rule, anything else the spatial one. *)
+
+val parse : string -> (Ast.statement list, string) result
+(** Parse a whole script (statements separated by [;]). *)
+
+val parse_one : string -> (Ast.statement, string) result

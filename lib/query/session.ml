@@ -1,0 +1,26 @@
+type t = { executor : Executor.t }
+
+let create ?kernel () = { executor = Executor.create ?kernel () }
+let executor t = t.executor
+let kernel t = Executor.kernel t.executor
+
+let run_string t src =
+  match Parser.parse src with
+  | Error e -> Error ("parse error: " ^ e)
+  | Ok stmts ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | stmt :: rest ->
+        (match Executor.execute t.executor stmt with
+         | Ok resp -> go (resp :: acc) rest
+         | Error e ->
+           Error
+             (Printf.sprintf "%s: %s" (Ast.statement_to_string stmt) e))
+    in
+    go [] stmts
+
+let run_string_collect t src =
+  match run_string t src with
+  | Error e -> "error: " ^ e
+  | Ok responses ->
+    String.concat "\n" (List.map Executor.format_response responses)

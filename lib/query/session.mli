@@ -1,0 +1,17 @@
+(** Script / REPL driver over the interpreter pipeline
+    (parse → plan → execute). *)
+
+type t
+
+val create : ?kernel:Gaea_core.Kernel.t -> unit -> t
+val executor : t -> Executor.t
+val kernel : t -> Gaea_core.Kernel.t
+
+val run_string :
+  t -> string -> (Executor.response list, string) result
+(** Parse and execute a whole script; stops at the first error
+    (statements already executed stay executed, like psql). *)
+
+val run_string_collect : t -> string -> string
+(** Like {!run_string} but renders every response (and any error) into
+    one output string — what the CLI prints. *)

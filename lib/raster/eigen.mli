@@ -1,0 +1,24 @@
+(** Symmetric eigendecomposition (cyclic Jacobi) — the
+    [get-eigen-vector] operator of the PCA network (paper Fig 4). *)
+
+type decomposition = {
+  values : float array;        (** eigenvalues, descending *)
+  vectors : Matrix.t;          (** column j is the eigenvector of values.(j) *)
+}
+
+val decompose : ?max_sweeps:int -> ?eps:float -> Matrix.t -> decomposition
+(** Jacobi eigendecomposition of a symmetric matrix.
+    @raise Invalid_argument if the matrix is not (numerically) symmetric.
+    Eigenvectors are orthonormal; each is sign-normalized so its largest-
+    magnitude component is positive, making results deterministic. *)
+
+val reconstruct : decomposition -> Matrix.t
+(** [V diag(values) Vᵀ] — for testing that [decompose] is faithful. *)
+
+val principal_components : Matrix.t -> int -> Matrix.t
+(** [principal_components sym k] is the n×k matrix of the top-k
+    eigenvectors.  @raise Invalid_argument if k outside 1..n. *)
+
+val explained_variance : decomposition -> float array
+(** Fraction of total variance per component (non-negative eigenvalues
+    assumed clamped at 0). *)

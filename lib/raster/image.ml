@@ -1,0 +1,144 @@
+type t = {
+  nrow : int;
+  ncol : int;
+  ptype : Pixel.t;
+  label : string;
+  data : float array;
+}
+
+let check_dims nrow ncol =
+  if nrow <= 0 || ncol <= 0 then
+    invalid_arg (Printf.sprintf "Image: non-positive dims %dx%d" nrow ncol)
+
+let create ?(label = "") ~nrow ~ncol ptype =
+  check_dims nrow ncol;
+  { nrow; ncol; ptype; label; data = Array.make (nrow * ncol) 0. }
+
+let init ?(label = "") ~nrow ~ncol ptype f =
+  check_dims nrow ncol;
+  let data =
+    Array.init (nrow * ncol) (fun i ->
+        Pixel.quantize ptype (f (i / ncol) (i mod ncol)))
+  in
+  { nrow; ncol; ptype; label; data }
+
+let img_nrow t = t.nrow
+let img_ncol t = t.ncol
+let img_type t = t.ptype
+let img_label t = t.label
+let img_size_eq a b = a.nrow = b.nrow && a.ncol = b.ncol
+let size t = t.nrow * t.ncol
+
+let check_bounds t r c =
+  if r < 0 || r >= t.nrow || c < 0 || c >= t.ncol then
+    invalid_arg
+      (Printf.sprintf "Image: pixel (%d,%d) outside %dx%d" r c t.nrow t.ncol)
+
+let get t r c =
+  check_bounds t r c;
+  t.data.((r * t.ncol) + c)
+
+let set t r c v =
+  check_bounds t r c;
+  t.data.((r * t.ncol) + c) <- Pixel.quantize t.ptype v
+
+let get_linear t i =
+  if i < 0 || i >= Array.length t.data then
+    invalid_arg (Printf.sprintf "Image.get_linear: index %d" i);
+  t.data.(i)
+
+let set_linear t i v =
+  if i < 0 || i >= Array.length t.data then
+    invalid_arg (Printf.sprintf "Image.set_linear: index %d" i);
+  t.data.(i) <- Pixel.quantize t.ptype v
+
+let map ?(label = "") ?ptype f t =
+  let ptype = Option.value ptype ~default:t.ptype in
+  { nrow = t.nrow; ncol = t.ncol; ptype; label;
+    data = Array.map (fun v -> Pixel.quantize ptype (f v)) t.data }
+
+let map2 ?(label = "") ?ptype f a b =
+  if not (img_size_eq a b) then
+    invalid_arg
+      (Printf.sprintf "Image.map2: size mismatch %dx%d vs %dx%d" a.nrow
+         a.ncol b.nrow b.ncol);
+  let ptype = Option.value ptype ~default:a.ptype in
+  { nrow = a.nrow; ncol = a.ncol; ptype; label;
+    data =
+      Array.init (Array.length a.data) (fun i ->
+          Pixel.quantize ptype (f a.data.(i) b.data.(i))) }
+
+let mapi ?(label = "") ?ptype f t =
+  let ptype = Option.value ptype ~default:t.ptype in
+  { nrow = t.nrow; ncol = t.ncol; ptype; label;
+    data =
+      Array.init (Array.length t.data) (fun i ->
+          Pixel.quantize ptype (f (i / t.ncol) (i mod t.ncol) t.data.(i))) }
+
+let fold f acc t = Array.fold_left f acc t.data
+let iter f t = Array.iter f t.data
+
+let copy ?label t =
+  { t with data = Array.copy t.data;
+           label = Option.value label ~default:t.label }
+
+let with_ptype ptype t =
+  { t with ptype; data = Array.map (Pixel.quantize ptype) t.data }
+
+(* NaN pixels (cloud holes) compare equal regardless of payload bits *)
+let float_bits v =
+  if Float.is_nan v then 0x7ff8000000000000L else Int64.bits_of_float v
+
+let equal a b =
+  a.nrow = b.nrow && a.ncol = b.ncol
+  && Pixel.equal a.ptype b.ptype
+  && Array.for_all2 (fun x y -> float_bits x = float_bits y) a.data b.data
+
+(* FNV-1a over dims, pixel type and the raw float bits. *)
+let content_hash t =
+  let h = ref 0xcbf29ce484222325L in
+  let feed v =
+    h := Int64.mul (Int64.logxor !h v) 0x100000001b3L
+  in
+  feed (Int64.of_int t.nrow);
+  feed (Int64.of_int t.ncol);
+  feed (Int64.of_int (Pixel.size_bytes t.ptype));
+  Array.iter (fun v -> feed (float_bits v)) t.data;
+  Int64.to_int (Int64.shift_right_logical !h 2)
+
+let min_max t =
+  Array.fold_left
+    (fun (lo, hi) v -> (Float.min lo v, Float.max hi v))
+    (infinity, neg_infinity) t.data
+
+let to_list t = Array.to_list t.data
+
+let of_array ?(label = "") ~nrow ~ncol ptype data =
+  check_dims nrow ncol;
+  if Array.length data <> nrow * ncol then
+    invalid_arg
+      (Printf.sprintf "Image.of_array: %d values for %dx%d image"
+         (Array.length data) nrow ncol);
+  { nrow; ncol; ptype; label;
+    data = Array.map (Pixel.quantize ptype) data }
+
+let unsafe_data t = t.data
+
+let pp fmt t =
+  Format.fprintf fmt "image<%dx%d:%s%s>" t.nrow t.ncol
+    (Pixel.to_string t.ptype)
+    (if t.label = "" then "" else " " ^ t.label)
+
+let pp_ascii ?(levels = " .:-=+*#%@") fmt t =
+  let lo, hi = min_max t in
+  let span = if hi > lo then hi -. lo else 1. in
+  let n = String.length levels in
+  for r = 0 to t.nrow - 1 do
+    for c = 0 to t.ncol - 1 do
+      let v = t.data.((r * t.ncol) + c) in
+      let i = int_of_float ((v -. lo) /. span *. float_of_int (n - 1)) in
+      let i = if i < 0 then 0 else if i >= n then n - 1 else i in
+      Format.pp_print_char fmt levels.[i]
+    done;
+    Format.pp_print_newline fmt ()
+  done

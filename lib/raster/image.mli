@@ -1,0 +1,77 @@
+(** The [image] primitive class (paper Section 2.1.3).
+
+    The paper stores images as [(nrows, ncols, pixtype, filepath)] with the
+    raster data in an external file; we hold the raster in memory (the
+    [filepath] role is played by an optional [label]).  Pixels are stored
+    as floats but quantized through the declared {!Pixel.t} on every
+    write, so a ["char"] image really behaves like 8-bit data.
+
+    The operators the paper lists on the image ADT ([img_nrow],
+    [img_ncol], [img_type], [img_size_eq], ...) appear here under those
+    names. *)
+
+type t
+
+val create : ?label:string -> nrow:int -> ncol:int -> Pixel.t -> t
+(** Zero-filled image.  @raise Invalid_argument on non-positive dims. *)
+
+val init : ?label:string -> nrow:int -> ncol:int -> Pixel.t
+  -> (int -> int -> float) -> t
+(** [init ~nrow ~ncol pt f] fills pixel (r,c) with [f r c] (quantized). *)
+
+val img_nrow : t -> int
+val img_ncol : t -> int
+val img_type : t -> Pixel.t
+val img_label : t -> string
+val img_size_eq : t -> t -> bool
+val size : t -> int
+(** Number of pixels. *)
+
+val get : t -> int -> int -> float
+(** @raise Invalid_argument out of bounds. *)
+
+val set : t -> int -> int -> float -> unit
+(** Quantizes through the image's pixel type. *)
+
+val get_linear : t -> int -> float
+val set_linear : t -> int -> float -> unit
+
+val map : ?label:string -> ?ptype:Pixel.t -> (float -> float) -> t -> t
+(** Result pixel type defaults to the argument's. *)
+
+val map2 : ?label:string -> ?ptype:Pixel.t -> (float -> float -> float)
+  -> t -> t -> t
+(** @raise Invalid_argument if sizes differ. *)
+
+val mapi : ?label:string -> ?ptype:Pixel.t -> (int -> int -> float -> float)
+  -> t -> t
+
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+val iter : (float -> unit) -> t -> unit
+
+val copy : ?label:string -> t -> t
+val with_ptype : Pixel.t -> t -> t
+(** Re-quantize into a different storage type. *)
+
+val equal : t -> t -> bool
+(** Same dims, pixel type and bitwise-equal pixels. *)
+
+val content_hash : t -> int
+(** Deterministic hash of dims, type and pixel data — used by the
+    reproducibility experiments to compare derivation outputs. *)
+
+val min_max : t -> float * float
+val to_list : t -> float list
+val of_array : ?label:string -> nrow:int -> ncol:int -> Pixel.t
+  -> float array -> t
+(** @raise Invalid_argument if the array length is not [nrow*ncol]. *)
+
+val unsafe_data : t -> float array
+(** The backing store (shared, not copied).  Mutating it bypasses
+    quantization; reserved for operator implementations in this library. *)
+
+val pp : Format.formatter -> t -> unit
+(** Summary line, not the pixel data. *)
+
+val pp_ascii : ?levels:string -> Format.formatter -> t -> unit
+(** Render small images as ASCII art (for examples / the CLI). *)

@@ -1,0 +1,108 @@
+let temporal_linear ~at (t1, img1) (t2, img2) =
+  if not (Image.img_size_eq img1 img2) then
+    invalid_arg "Interpolate.temporal_linear: size mismatch";
+  let s1 = Gaea_geo.Abstime.to_seconds t1
+  and s2 = Gaea_geo.Abstime.to_seconds t2 in
+  if s1 = s2 then
+    invalid_arg "Interpolate.temporal_linear: identical timestamps";
+  let w =
+    float_of_int (Gaea_geo.Abstime.to_seconds at - s1) /. float_of_int (s2 - s1)
+  in
+  Image.map2 ~label:"temporal-interp" ~ptype:Pixel.Float8
+    (fun a b -> a +. (w *. (b -. a)))
+    img1 img2
+
+let resize_nearest img ~nrow ~ncol =
+  let src_r = Image.img_nrow img and src_c = Image.img_ncol img in
+  Image.init ~label:"resize-nearest" ~nrow ~ncol (Image.img_type img)
+    (fun r c ->
+      let sr = r * src_r / nrow and sc = c * src_c / ncol in
+      Image.get img (Stdlib.min sr (src_r - 1)) (Stdlib.min sc (src_c - 1)))
+
+let resize_bilinear img ~nrow ~ncol =
+  let src_r = Image.img_nrow img and src_c = Image.img_ncol img in
+  Image.init ~label:"resize-bilinear" ~nrow ~ncol Pixel.Float8 (fun r c ->
+      (* map output pixel center into source coordinates *)
+      let fy =
+        (float_of_int r +. 0.5) /. float_of_int nrow *. float_of_int src_r
+        -. 0.5
+      and fx =
+        (float_of_int c +. 0.5) /. float_of_int ncol *. float_of_int src_c
+        -. 0.5
+      in
+      let fy = Float.max 0. (Float.min fy (float_of_int (src_r - 1)))
+      and fx = Float.max 0. (Float.min fx (float_of_int (src_c - 1))) in
+      let y0 = int_of_float (Float.floor fy) in
+      let x0 = int_of_float (Float.floor fx) in
+      let y1 = Stdlib.min (y0 + 1) (src_r - 1) in
+      let x1 = Stdlib.min (x0 + 1) (src_c - 1) in
+      let dy = fy -. float_of_int y0 and dx = fx -. float_of_int x0 in
+      let v00 = Image.get img y0 x0 and v01 = Image.get img y0 x1 in
+      let v10 = Image.get img y1 x0 and v11 = Image.get img y1 x1 in
+      ((v00 *. (1. -. dx)) +. (v01 *. dx)) *. (1. -. dy)
+      +. (((v10 *. (1. -. dx)) +. (v11 *. dx)) *. dy))
+
+let fill_missing ?(missing = Float.nan) img =
+  let nrow = Image.img_nrow img and ncol = Image.img_ncol img in
+  let is_missing v =
+    if Float.is_nan missing then Float.is_nan v else v = missing
+  in
+  (* image mean over valid pixels, fallback for isolated holes *)
+  let valid_sum = ref 0. and valid_n = ref 0 in
+  Image.iter
+    (fun v ->
+      if not (is_missing v) then begin
+        valid_sum := !valid_sum +. v;
+        incr valid_n
+      end)
+    img;
+  let global_mean =
+    if !valid_n = 0 then 0. else !valid_sum /. float_of_int !valid_n
+  in
+  let current = ref (Image.copy img) in
+  let remaining = ref true in
+  let rounds = ref 0 in
+  while !remaining && !rounds <= nrow + ncol do
+    incr rounds;
+    remaining := false;
+    let next = Image.copy !current in
+    let any_filled = ref false in
+    for r = 0 to nrow - 1 do
+      for c = 0 to ncol - 1 do
+        if is_missing (Image.get !current r c) then begin
+          let sum = ref 0. and n = ref 0 in
+          for dr = -1 to 1 do
+            for dc = -1 to 1 do
+              if dr <> 0 || dc <> 0 then begin
+                let rr = r + dr and cc = c + dc in
+                if rr >= 0 && rr < nrow && cc >= 0 && cc < ncol then begin
+                  let v = Image.get !current rr cc in
+                  if not (is_missing v) then begin
+                    sum := !sum +. v;
+                    incr n
+                  end
+                end
+              end
+            done
+          done;
+          if !n > 0 then begin
+            Image.set next r c (!sum /. float_of_int !n);
+            any_filled := true
+          end
+          else remaining := true
+        end
+      done
+    done;
+    (* a fully missing image (or isolated region) falls back to the mean *)
+    if !remaining && not !any_filled then begin
+      for r = 0 to nrow - 1 do
+        for c = 0 to ncol - 1 do
+          if is_missing (Image.get next r c) then
+            Image.set next r c global_mean
+        done
+      done;
+      remaining := false
+    end;
+    current := next
+  done;
+  !current

@@ -1,0 +1,24 @@
+(** Interpolation — step 2 of the paper's query-answering sequence
+    (Section 2.1.5): "Interpolation can be used in many situations where
+    data are missing.  It is a generic derivation process which is
+    applicable to many data types in many domains." *)
+
+val temporal_linear :
+  at:Gaea_geo.Abstime.t ->
+  Gaea_geo.Abstime.t * Image.t ->
+  Gaea_geo.Abstime.t * Image.t ->
+  Image.t
+(** Per-pixel linear interpolation between two snapshots of the same
+    scene.  [at] may lie outside the bracket (extrapolation).
+    @raise Invalid_argument on size mismatch or equal timestamps. *)
+
+val resize_nearest : Image.t -> nrow:int -> ncol:int -> Image.t
+(** Spatial resampling by nearest neighbour. *)
+
+val resize_bilinear : Image.t -> nrow:int -> ncol:int -> Image.t
+(** Spatial resampling by bilinear interpolation (result Float8). *)
+
+val fill_missing : ?missing:float -> Image.t -> Image.t
+(** Replace [missing]-valued pixels (default [nan]) with the mean of
+    their non-missing 8-neighbours; pixels with no valid neighbour get
+    the image mean.  Iterates until no missing pixel remains. *)

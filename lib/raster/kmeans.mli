@@ -1,0 +1,27 @@
+(** Unsupervised classification — the [unsuperclassify()] operator used
+    by process P20 (paper Fig 3) to derive LAND_COVER from Landsat TM
+    bands.
+
+    Deterministic k-means over per-pixel band vectors: seeded k-means++
+    initialization, Lloyd iterations to convergence, stable relabeling of
+    clusters (sorted by centroid) so the same inputs always yield the
+    same class image. *)
+
+type result = {
+  labels : Image.t;            (** Int4 label image, values in 0..k-1 *)
+  centroids : float array array; (** k centroids of dimension n_bands *)
+  iterations : int;            (** Lloyd iterations performed *)
+  inertia : float;             (** sum of squared distances to assigned centroid *)
+}
+
+val unsuperclassify : ?seed:int -> ?max_iter:int -> Composite.t -> int
+  -> result
+(** [unsuperclassify composite k] groups pixels into [k] classes.
+    @raise Invalid_argument if [k < 1] or [k] exceeds the pixel count. *)
+
+val classify_image : ?seed:int -> ?max_iter:int -> Image.t -> int -> result
+(** Single-band convenience wrapper. *)
+
+val assign : float array array -> float array -> int
+(** Index of the nearest centroid (ties to the lowest index).
+    @raise Invalid_argument on empty centroids. *)

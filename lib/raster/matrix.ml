@@ -1,0 +1,171 @@
+type t = { rows : int; cols : int; data : float array }
+
+let check_dims rows cols =
+  if rows <= 0 || cols <= 0 then
+    invalid_arg (Printf.sprintf "Matrix: non-positive dims %dx%d" rows cols)
+
+let create ~rows ~cols =
+  check_dims rows cols;
+  { rows; cols; data = Array.make (rows * cols) 0. }
+
+let init ~rows ~cols f =
+  check_dims rows cols;
+  { rows; cols;
+    data = Array.init (rows * cols) (fun i -> f (i / cols) (i mod cols)) }
+
+let identity n = init ~rows:n ~cols:n (fun i j -> if i = j then 1. else 0.)
+
+let of_rows rs =
+  let rows = Array.length rs in
+  if rows = 0 then invalid_arg "Matrix.of_rows: empty";
+  let cols = Array.length rs.(0) in
+  if cols = 0 then invalid_arg "Matrix.of_rows: empty row";
+  Array.iter
+    (fun r ->
+      if Array.length r <> cols then invalid_arg "Matrix.of_rows: ragged rows")
+    rs;
+  init ~rows ~cols (fun i j -> rs.(i).(j))
+
+let rows t = t.rows
+let cols t = t.cols
+
+let check_bounds t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg
+      (Printf.sprintf "Matrix: (%d,%d) outside %dx%d" i j t.rows t.cols)
+
+let get t i j =
+  check_bounds t i j;
+  t.data.((i * t.cols) + j)
+
+let set t i j v =
+  check_bounds t i j;
+  t.data.((i * t.cols) + j) <- v
+
+let row t i =
+  if i < 0 || i >= t.rows then invalid_arg "Matrix.row: out of range";
+  Array.sub t.data (i * t.cols) t.cols
+
+let col t j =
+  if j < 0 || j >= t.cols then invalid_arg "Matrix.col: out of range";
+  Array.init t.rows (fun i -> t.data.((i * t.cols) + j))
+
+let transpose t = init ~rows:t.cols ~cols:t.rows (fun i j -> get t j i)
+
+let same_dims op a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg
+      (Printf.sprintf "Matrix.%s: %dx%d vs %dx%d" op a.rows a.cols b.rows
+         b.cols)
+
+let add a b =
+  same_dims "add" a b;
+  { a with data = Array.init (Array.length a.data)
+               (fun i -> a.data.(i) +. b.data.(i)) }
+
+let sub a b =
+  same_dims "sub" a b;
+  { a with data = Array.init (Array.length a.data)
+               (fun i -> a.data.(i) -. b.data.(i)) }
+
+let scale s t = { t with data = Array.map (fun v -> s *. v) t.data }
+
+let mul a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Matrix.mul: %dx%d * %dx%d" a.rows a.cols b.rows b.cols);
+  let out = create ~rows:a.rows ~cols:b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0. then
+        for j = 0 to b.cols - 1 do
+          out.data.((i * b.cols) + j) <-
+            out.data.((i * b.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
+        done
+    done
+  done;
+  out
+
+let mul_vec t v =
+  if Array.length v <> t.cols then
+    invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init t.rows (fun i ->
+      let acc = ref 0. in
+      for j = 0 to t.cols - 1 do
+        acc := !acc +. (t.data.((i * t.cols) + j) *. v.(j))
+      done;
+      !acc)
+
+let map f t = { t with data = Array.map f t.data }
+
+let equal a b =
+  a.rows = b.rows && a.cols = b.cols && a.data = b.data
+
+let approx_equal ?(eps = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) a.data b.data
+
+let is_symmetric ?(eps = 1e-9) t =
+  t.rows = t.cols
+  &&
+  let ok = ref true in
+  for i = 0 to t.rows - 1 do
+    for j = i + 1 to t.cols - 1 do
+      if Float.abs (get t i j -. get t j i) > eps then ok := false
+    done
+  done;
+  !ok
+
+let trace t =
+  if t.rows <> t.cols then invalid_arg "Matrix.trace: not square";
+  let acc = ref 0. in
+  for i = 0 to t.rows - 1 do
+    acc := !acc +. get t i i
+  done;
+  !acc
+
+let frobenius_norm t =
+  sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0. t.data)
+
+let copy t = { t with data = Array.copy t.data }
+
+let column_means t =
+  let means = Array.make t.cols 0. in
+  for i = 0 to t.rows - 1 do
+    for j = 0 to t.cols - 1 do
+      means.(j) <- means.(j) +. t.data.((i * t.cols) + j)
+    done
+  done;
+  Array.map (fun s -> s /. float_of_int t.rows) means
+
+let center_columns t =
+  let means = column_means t in
+  (init ~rows:t.rows ~cols:t.cols (fun i j -> get t i j -. means.(j)), means)
+
+let covariance t =
+  if t.rows < 2 then invalid_arg "Matrix.covariance: needs >= 2 observations";
+  let centered, _ = center_columns t in
+  scale (1. /. float_of_int (t.rows - 1)) (mul (transpose centered) centered)
+
+let correlation t =
+  let cov = covariance t in
+  let n = cols cov in
+  let sd = Array.init n (fun i -> sqrt (get cov i i)) in
+  init ~rows:n ~cols:n (fun i j ->
+      if i = j then 1.
+      else if sd.(i) = 0. || sd.(j) = 0. then 0.
+      else get cov i j /. (sd.(i) *. sd.(j)))
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to t.rows - 1 do
+    Format.fprintf fmt "@[<h>[";
+    for j = 0 to t.cols - 1 do
+      if j > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%g" (get t i j)
+    done;
+    Format.fprintf fmt "]@]";
+    if i < t.rows - 1 then Format.pp_print_cut fmt ()
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,50 @@
+(** Dense row-major matrices — the [matrix] primitive class that the
+    PCA compound operator of Fig 4 flows through. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Zero matrix.  @raise Invalid_argument on non-positive dims. *)
+
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+val identity : int -> t
+val of_rows : float array array -> t
+(** @raise Invalid_argument on ragged or empty input. *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val row : t -> int -> float array
+val col : t -> int -> float array
+
+val transpose : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+(** Matrix product.  @raise Invalid_argument on dim mismatch. *)
+
+val mul_vec : t -> float array -> float array
+
+val map : (float -> float) -> t -> t
+val equal : t -> t -> bool
+val approx_equal : ?eps:float -> t -> t -> bool
+val is_symmetric : ?eps:float -> t -> bool
+val trace : t -> float
+val frobenius_norm : t -> float
+val copy : t -> t
+
+val column_means : t -> float array
+val center_columns : t -> t * float array
+(** Subtract column means; returns centered matrix and the means. *)
+
+val covariance : t -> t
+(** Sample covariance of the columns (rows are observations); divides by
+    [rows-1].  @raise Invalid_argument if rows < 2. *)
+
+val correlation : t -> t
+(** Pearson correlation of the columns.  Zero-variance columns yield
+    zero off-diagonal entries and a unit diagonal. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+type result = {
+  components : Composite.t;
+  eigenvalues : float array;
+  eigenvectors : Matrix.t;
+  explained : float array;
+}
+
+let convert_image_matrix = Composite.to_matrix
+let compute_covariance = Matrix.covariance
+let compute_correlation = Matrix.correlation
+let get_eigen_vector m = Eigen.decompose m
+
+let linear_combination observations loadings = Matrix.mul observations loadings
+
+let convert_matrix_image ~nrow ~ncol m =
+  Composite.of_matrix ~nrow ~ncol Pixel.Float8 m
+
+let run ~standardize ?components composite =
+  let nrow = Composite.nrow composite and ncol = Composite.ncol composite in
+  let n_bands = Composite.n_bands composite in
+  let k = Option.value components ~default:n_bands in
+  if k < 1 || k > n_bands then
+    invalid_arg
+      (Printf.sprintf "Pca: components=%d outside 1..%d" k n_bands);
+  if Composite.n_pixels composite < 2 then
+    invalid_arg "Pca: needs at least 2 pixels";
+  let obs = convert_image_matrix composite in
+  let centered, _means = Matrix.center_columns obs in
+  let prepared, sym =
+    if standardize then begin
+      let cov = compute_covariance obs in
+      let sd = Array.init n_bands (fun i -> sqrt (Matrix.get cov i i)) in
+      let std =
+        Matrix.init ~rows:(Matrix.rows centered) ~cols:n_bands (fun i j ->
+            if sd.(j) = 0. then 0. else Matrix.get centered i j /. sd.(j))
+      in
+      (std, compute_correlation obs)
+    end
+    else (centered, compute_covariance obs)
+  in
+  let decomp = get_eigen_vector sym in
+  let loadings =
+    Matrix.init ~rows:n_bands ~cols:k (fun i j ->
+        Matrix.get decomp.Eigen.vectors i j)
+  in
+  let projected = linear_combination prepared loadings in
+  let components_imgs = convert_matrix_image ~nrow ~ncol projected in
+  let explained = Eigen.explained_variance decomp in
+  { components = components_imgs;
+    eigenvalues = Array.sub decomp.Eigen.values 0 k;
+    eigenvectors = loadings;
+    explained = Array.sub explained 0 k }
+
+let pca ?components composite = run ~standardize:false ?components composite
+let spca ?components composite = run ~standardize:true ?components composite

@@ -1,0 +1,43 @@
+(** Principal component analysis of image stacks — paper Fig 4.
+
+    The paper presents [pca()] as a {e compound operator}: a dataflow
+    network [convert-image-matrix → compute-covariance →
+    get-eigen-vector → linear-combination → convert-matrix-image].  Each
+    stage is exposed here under its Fig 4 name so that the ADT layer can
+    also register them individually and wire the same network as a
+    {!Gaea_adt.Dataflow} graph.
+
+    [spca] is the standardized variant (Eastman 1992): identical network
+    with the covariance stage replaced by correlation — the paper's
+    example of two processes deriving the "same conceptual outcome"
+    ("vegetation change" as class C7 vs C8). *)
+
+type result = {
+  components : Composite.t;   (** PC images, first = largest variance *)
+  eigenvalues : float array;
+  eigenvectors : Matrix.t;    (** column j = loading vector of PC j *)
+  explained : float array;    (** variance fraction per component *)
+}
+
+(** The individual Fig 4 stages. *)
+
+val convert_image_matrix : Composite.t -> Matrix.t
+val compute_covariance : Matrix.t -> Matrix.t
+val compute_correlation : Matrix.t -> Matrix.t
+val get_eigen_vector : Matrix.t -> Eigen.decomposition
+val linear_combination : Matrix.t -> Matrix.t -> Matrix.t
+(** [linear_combination observations loadings] projects the (centered)
+    observation matrix onto the loading columns. *)
+
+val convert_matrix_image : nrow:int -> ncol:int -> Matrix.t -> Composite.t
+
+(** The assembled networks. *)
+
+val pca : ?components:int -> Composite.t -> result
+(** Covariance-based PCA.  [components] defaults to the band count.
+    @raise Invalid_argument if the stack has < 2 pixels or [components]
+    is outside 1..n_bands. *)
+
+val spca : ?components:int -> Composite.t -> result
+(** Standardized PCA: bands are standardized (zero mean, unit variance)
+    and the correlation matrix is decomposed. *)

@@ -1,0 +1,24 @@
+(** Ordered index for range retrieval ("inadequacy for range retrieval"
+    is one of the paper's complaints about file-based GIS, Section 4.1).
+    Keys must be {!Vorder.orderable} values of a single type. *)
+
+type t
+
+val create : Gaea_adt.Vtype.t -> (t, string) result
+(** Errors on a non-orderable key type. *)
+
+val key_type : t -> Gaea_adt.Vtype.t
+val add : t -> Gaea_adt.Value.t -> Oid.t -> (unit, string) result
+(** Errors on a key of the wrong type. *)
+
+val remove : t -> Gaea_adt.Value.t -> Oid.t -> unit
+val find : t -> Gaea_adt.Value.t -> Oid.t list
+
+val range :
+  t -> ?lo:Gaea_adt.Value.t -> ?hi:Gaea_adt.Value.t -> unit -> Oid.t list
+(** OIDs with key in the closed range [lo, hi]; missing bounds are
+    unbounded.  Ascending key order, then ascending OID. *)
+
+val min_key : t -> Gaea_adt.Value.t option
+val max_key : t -> Gaea_adt.Value.t option
+val cardinality : t -> int

@@ -1,0 +1,34 @@
+module VKey = struct
+  type t = Gaea_adt.Value.t
+
+  let equal = Gaea_adt.Value.equal
+  let hash = Gaea_adt.Value.content_hash
+end
+
+module VTbl = Hashtbl.Make (VKey)
+module IntSet = Set.Make (Int)
+
+type t = { mutable table : IntSet.t VTbl.t }
+
+let create () = { table = VTbl.create 64 }
+
+let add t key oid =
+  let cur = Option.value ~default:IntSet.empty (VTbl.find_opt t.table key) in
+  VTbl.replace t.table key (IntSet.add oid cur)
+
+let remove t key oid =
+  match VTbl.find_opt t.table key with
+  | None -> ()
+  | Some s ->
+    let s = IntSet.remove oid s in
+    if IntSet.is_empty s then VTbl.remove t.table key
+    else VTbl.replace t.table key s
+
+let find t key =
+  match VTbl.find_opt t.table key with
+  | None -> []
+  | Some s -> IntSet.elements s
+
+let cardinality t = VTbl.length t.table
+
+let entries t = VTbl.fold (fun _ s acc -> acc + IntSet.cardinal s) t.table 0

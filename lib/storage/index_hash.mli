@@ -1,0 +1,17 @@
+(** Hash index: equality lookups from attribute value to OIDs.
+    Keys are compared by {!Gaea_adt.Value.equal} and hashed by
+    {!Gaea_adt.Value.content_hash}, so any value type can be a key. *)
+
+type t
+
+val create : unit -> t
+val add : t -> Gaea_adt.Value.t -> Oid.t -> unit
+val remove : t -> Gaea_adt.Value.t -> Oid.t -> unit
+val find : t -> Gaea_adt.Value.t -> Oid.t list
+(** Ascending OID order. *)
+
+val cardinality : t -> int
+(** Number of distinct keys. *)
+
+val entries : t -> int
+(** Number of (key, oid) pairs. *)

@@ -1,0 +1,16 @@
+type t = int
+
+let invalid = 0
+
+type allocator = { mutable next : int }
+
+let allocator ?(first = 1) () = { next = first }
+
+let fresh a =
+  let id = a.next in
+  a.next <- id + 1;
+  id
+
+let current a = a.next - 1
+
+let advance_to a t = if t >= a.next then a.next <- t + 1

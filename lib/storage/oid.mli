@@ -1,0 +1,22 @@
+(** Object identifiers.
+
+    Postgres gives every stored object a system-wide OID; the Gaea
+    metadata manager relies on them to record tasks (derivation
+    relationships among instances).  One allocator per store. *)
+
+type t = int
+
+val invalid : t
+(** 0 — never allocated. *)
+
+type allocator
+
+val allocator : ?first:int -> unit -> allocator
+(** Fresh allocator; ids start at [first] (default 1). *)
+
+val fresh : allocator -> t
+val current : allocator -> t
+(** Highest id allocated so far ([first - 1] if none). *)
+
+val advance_to : allocator -> t -> unit
+(** Ensure future ids exceed [t] (used when loading snapshots). *)

@@ -1,0 +1,147 @@
+module Sexp = Gaea_adt.Sexp
+module Value = Gaea_adt.Value
+module Vtype = Gaea_adt.Vtype
+
+let table_to_sexp tab =
+  let desc = Table.descriptor tab in
+  let schema =
+    Sexp.list
+      (Sexp.atom "schema"
+       :: List.map
+            (fun (n, ty) ->
+              Sexp.list [ Sexp.atom n; Sexp.atom (Vtype.to_string ty) ])
+            (Tuple.attrs desc))
+  in
+  let indexes =
+    Sexp.list
+      (Sexp.atom "indexes"
+       :: List.filter_map
+            (fun (n, _) ->
+              let kinds =
+                (if Table.has_hash_index tab n then [ "hash" ] else [])
+                @ if Table.has_btree_index tab n then [ "btree" ] else []
+              in
+              if kinds = [] then None
+              else
+                Some
+                  (Sexp.list
+                     (Sexp.atom n :: List.map Sexp.atom kinds)))
+            (Tuple.attrs desc))
+  in
+  let rows =
+    Table.fold tab ~init:[] ~f:(fun acc oid tuple ->
+        Sexp.list
+          (Sexp.atom "row" :: Sexp.atom (string_of_int oid)
+           :: List.map
+                (fun v -> Sexp.of_string (Value.serialize v) |> Result.get_ok)
+                (Tuple.values tuple))
+        :: acc)
+    |> List.rev
+  in
+  Sexp.list
+    (Sexp.atom "table" :: Sexp.atom (Table.name tab) :: schema :: indexes
+     :: rows)
+
+let save store =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun name ->
+      let tab = Store.table_exn store name in
+      Buffer.add_string buf (Sexp.to_string (table_to_sexp tab));
+      Buffer.add_char buf '\n')
+    (Store.table_names store);
+  Buffer.contents buf
+
+let ( let* ) r f = Result.bind r f
+
+let load_table store sexp =
+  match sexp with
+  | Sexp.List
+      (Sexp.Atom "table" :: Sexp.Atom name
+       :: Sexp.List (Sexp.Atom "schema" :: schema)
+       :: Sexp.List (Sexp.Atom "indexes" :: indexes)
+       :: rows) ->
+    let* attrs =
+      List.fold_left
+        (fun acc s ->
+          let* acc = acc in
+          match s with
+          | Sexp.List [ Sexp.Atom n; Sexp.Atom ty ] ->
+            (match Vtype.of_string ty with
+             | Some ty -> Ok ((n, ty) :: acc)
+             | None -> Error ("unknown type " ^ ty))
+          | _ -> Error "malformed schema entry")
+        (Ok []) schema
+    in
+    let* tab = Store.create_table store ~name (List.rev attrs) in
+    let* () =
+      List.fold_left
+        (fun acc s ->
+          let* () = acc in
+          match s with
+          | Sexp.List (Sexp.Atom attr :: kinds) ->
+            List.fold_left
+              (fun acc kind ->
+                let* () = acc in
+                match kind with
+                | Sexp.Atom "hash" -> Table.create_hash_index tab attr
+                | Sexp.Atom "btree" -> Table.create_btree_index tab attr
+                | _ -> Error "malformed index kind")
+              (Ok ()) kinds
+          | _ -> Error "malformed index entry")
+        (Ok ()) indexes
+    in
+    List.fold_left
+      (fun acc row ->
+        let* () = acc in
+        match row with
+        | Sexp.List (Sexp.Atom "row" :: Sexp.Atom oid :: values) ->
+          let* oid =
+            match int_of_string_opt oid with
+            | Some o -> Ok o
+            | None -> Error ("bad oid " ^ oid)
+          in
+          let* values =
+            List.fold_left
+              (fun acc v ->
+                let* acc = acc in
+                let* parsed = Value.deserialize (Sexp.to_string v) in
+                Ok (parsed :: acc))
+              (Ok []) values
+          in
+          Store.insert_with_oid store ~table:name oid (List.rev values)
+        | _ -> Error "malformed row")
+      (Ok ()) rows
+  | _ -> Error "malformed table"
+
+let load text =
+  let* sexps = Sexp.of_string_many text in
+  let store = Store.create () in
+  let* () =
+    List.fold_left
+      (fun acc sexp ->
+        let* () = acc in
+        load_table store sexp)
+      (Ok ()) sexps
+  in
+  Ok store
+
+let save_to_file store path =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (save store);
+        Ok ())
+  with Sys_error e -> Error e
+
+let load_from_file path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        load (really_input_string ic n))
+  with Sys_error e -> Error e

@@ -1,0 +1,14 @@
+(** Textual snapshots of a whole store — persistence without an external
+    database, and the medium of the data-sharing experiments (export a
+    store, re-import it elsewhere, rerun the derivations). *)
+
+val save : Store.t -> string
+(** One S-expression per table: schema, indexes, then rows (OID +
+    serialized values). *)
+
+val load : string -> (Store.t, string) result
+(** Rebuilds tables, indexes and rows; the OID allocator resumes past
+    the highest loaded OID. *)
+
+val save_to_file : Store.t -> string -> (unit, string) result
+val load_from_file : string -> (Store.t, string) result

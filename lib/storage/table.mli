@@ -1,0 +1,49 @@
+(** A table: heap + secondary indexes + schema.
+
+    This is the storage role Postgres plays for Gaea: each non-primitive
+    class is backed by one table whose attributes hold primitive-class
+    values. *)
+
+type t
+
+val create : name:string -> Tuple.descriptor -> t
+val name : t -> string
+val descriptor : t -> Tuple.descriptor
+val row_count : t -> int
+
+val create_hash_index : t -> string -> (unit, string) result
+(** Index an attribute for equality lookup; backfills existing rows.
+    Errors on unknown attribute or duplicate index. *)
+
+val create_btree_index : t -> string -> (unit, string) result
+(** Ordered index; errors additionally on non-orderable types. *)
+
+val has_hash_index : t -> string -> bool
+val has_btree_index : t -> string -> bool
+
+val insert : t -> Oid.t -> Gaea_adt.Value.t list -> (unit, string) result
+(** Builds and type-checks a tuple, stores it, maintains indexes. *)
+
+val insert_tuple : t -> Oid.t -> Tuple.t -> (unit, string) result
+val delete : t -> Oid.t -> bool
+val get : t -> Oid.t -> Tuple.t option
+val get_attr : t -> Oid.t -> string -> Gaea_adt.Value.t option
+
+val scan : t -> (Oid.t -> Tuple.t -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> Oid.t -> Tuple.t -> 'a) -> 'a
+val to_list : t -> (Oid.t * Tuple.t) list
+
+val select : t -> (Oid.t -> Tuple.t -> bool) -> (Oid.t * Tuple.t) list
+
+val lookup_eq : t -> string -> Gaea_adt.Value.t -> (Oid.t * Tuple.t) list
+(** Equality retrieval; uses a hash or btree index when available, falls
+    back to a scan.  Unknown attribute yields []. *)
+
+val lookup_range :
+  t -> string -> ?lo:Gaea_adt.Value.t -> ?hi:Gaea_adt.Value.t -> unit
+  -> (Oid.t * Tuple.t) list
+(** Range retrieval on an orderable attribute (btree or scan). *)
+
+val last_access_used_index : t -> bool
+(** Whether the most recent [lookup_eq]/[lookup_range] was served by an
+    index — exposed for the experiments. *)

@@ -1,0 +1,109 @@
+module Value = Gaea_adt.Value
+module Vtype = Gaea_adt.Vtype
+
+type descriptor = {
+  names : string array;
+  types : Vtype.t array;
+  index : (string, int) Hashtbl.t;
+}
+
+let descriptor attrs =
+  if attrs = [] then Error "descriptor: no attributes"
+  else begin
+    let index = Hashtbl.create 8 in
+    let rec check i = function
+      | [] -> Ok ()
+      | (name, _) :: rest ->
+        if name = "" then Error "descriptor: empty attribute name"
+        else if Hashtbl.mem index name then
+          Error (Printf.sprintf "descriptor: duplicate attribute %s" name)
+        else begin
+          Hashtbl.add index name i;
+          check (i + 1) rest
+        end
+    in
+    match check 0 attrs with
+    | Error _ as e -> e
+    | Ok () ->
+      Ok
+        { names = Array.of_list (List.map fst attrs);
+          types = Array.of_list (List.map snd attrs);
+          index }
+  end
+
+let attrs d =
+  Array.to_list (Array.mapi (fun i n -> (n, d.types.(i))) d.names)
+
+let arity d = Array.length d.names
+let attr_index d name = Hashtbl.find_opt d.index name
+
+let attr_type d name =
+  Option.map (fun i -> d.types.(i)) (attr_index d name)
+
+let descriptor_equal a b =
+  a.names = b.names && Array.for_all2 Vtype.equal a.types b.types
+
+type t = Value.t array
+
+let coerce expected v =
+  match expected, v with
+  | Vtype.Float, Value.VInt i -> Some (Value.float (float_of_int i))
+  | _ ->
+    if Vtype.matches ~expected ~actual:(Value.type_of v) then Some v else None
+
+let make d values =
+  let n = List.length values in
+  if n <> arity d then
+    Error (Printf.sprintf "tuple: %d values for %d attributes" n (arity d))
+  else begin
+    let arr = Array.of_list values in
+    let rec check i =
+      if i >= arity d then Ok (Array.copy arr)
+      else
+        match coerce d.types.(i) arr.(i) with
+        | Some v ->
+          arr.(i) <- v;
+          check (i + 1)
+        | None ->
+          Error
+            (Printf.sprintf "tuple: attribute %s expects %s, got %s"
+               d.names.(i)
+               (Vtype.to_string d.types.(i))
+               (Vtype.to_string (Value.type_of arr.(i))))
+    in
+    check 0
+  end
+
+let get t i =
+  if i < 0 || i >= Array.length t then
+    invalid_arg (Printf.sprintf "Tuple.get: index %d" i);
+  t.(i)
+
+let get_by_name t d name =
+  match attr_index d name with
+  | Some i -> Ok t.(i)
+  | None -> Error (Printf.sprintf "tuple: no attribute %s" name)
+
+let values t = Array.to_list t
+
+let with_value t i v =
+  let t' = Array.copy t in
+  t'.(i) <- v;
+  t'
+
+let equal a b =
+  Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let content_hash t =
+  Array.fold_left
+    (fun acc v -> (acc * 1000003) lxor Value.content_hash v)
+    (Array.length t) t
+
+let pp d fmt t =
+  Format.fprintf fmt "@[<h>(";
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%s=%s" d.names.(i) (Value.to_display v))
+    t;
+  Format.fprintf fmt ")@]"

@@ -1,0 +1,33 @@
+(** Tuples and tuple descriptors.
+
+    A descriptor is the physical schema of a table: ordered, named,
+    typed attributes.  Tuples are checked against it on construction. *)
+
+type descriptor
+
+val descriptor : (string * Gaea_adt.Vtype.t) list -> (descriptor, string) result
+(** Errors on duplicate or empty attribute names, or an empty list. *)
+
+val attrs : descriptor -> (string * Gaea_adt.Vtype.t) list
+val arity : descriptor -> int
+val attr_index : descriptor -> string -> int option
+val attr_type : descriptor -> string -> Gaea_adt.Vtype.t option
+val descriptor_equal : descriptor -> descriptor -> bool
+
+type t
+
+val make : descriptor -> Gaea_adt.Value.t list -> (t, string) result
+(** Checks arity and per-attribute types ([Any] in the descriptor admits
+    anything; [VInt] is accepted for [Float] attributes and widened). *)
+
+val get : t -> int -> Gaea_adt.Value.t
+(** @raise Invalid_argument out of range. *)
+
+val get_by_name : t -> descriptor -> string -> (Gaea_adt.Value.t, string) result
+val values : t -> Gaea_adt.Value.t list
+val with_value : t -> int -> Gaea_adt.Value.t -> t
+(** Functional update (type NOT rechecked — internal use). *)
+
+val equal : t -> t -> bool
+val content_hash : t -> int
+val pp : descriptor -> Format.formatter -> t -> unit

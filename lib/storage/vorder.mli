@@ -1,0 +1,12 @@
+(** Total ordering over the scalar value types — the key order of the
+    ordered index and the ORDER BY of the query layer. *)
+
+val orderable : Gaea_adt.Vtype.t -> bool
+(** True for int, float, string, bool, abstime. *)
+
+val compare : Gaea_adt.Value.t -> Gaea_adt.Value.t -> (int, string) result
+(** Errors on non-orderable or differently-typed operands (ints and
+    floats compare numerically with each other). *)
+
+val compare_exn : Gaea_adt.Value.t -> Gaea_adt.Value.t -> int
+(** @raise Invalid_argument where {!compare} errors. *)

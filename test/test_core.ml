@@ -1,0 +1,826 @@
+(* Tests for the Gaea kernel: schema, concepts, templates, processes,
+   tasks, execution, derivation, lineage, experiments, figures and the
+   file-based baseline. *)
+
+open Gaea_core
+module Value = Gaea_adt.Value
+module Vtype = Gaea_adt.Vtype
+module Box = Gaea_geo.Box
+module Abstime = Gaea_geo.Abstime
+module Image = Gaea_raster.Image
+module Pixel = Gaea_raster.Pixel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let tc name f = Alcotest.test_case name `Quick f
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_schema_define () =
+  let cls =
+    ok
+      (Schema.define ~name:"landcover"
+         ~attributes:
+           [ ("area", Vtype.String); ("data", Vtype.Image);
+             ("spatialextent", Vtype.Box); ("timestamp", Vtype.Abstime) ]
+         ~derived_by:"classify" ())
+  in
+  (* conventional extent attributes are picked up automatically *)
+  check_bool "spatial found" true (cls.Schema.spatial_attr = Some "spatialextent");
+  check_bool "temporal found" true (cls.Schema.temporal_attr = Some "timestamp");
+  check_bool "derived" true (Schema.is_derived cls);
+  check_bool "derived_by" true (Schema.derived_by cls = Some "classify");
+  check_bool "attr type" true (Schema.attr_type cls "data" = Some Vtype.Image);
+  Alcotest.(check (list string)) "attr names"
+    [ "area"; "data"; "spatialextent"; "timestamp" ]
+    (Schema.attr_names cls)
+
+let test_schema_validation () =
+  check_bool "empty name" true
+    (Result.is_error (Schema.define ~name:"" ~attributes:[ ("a", Vtype.Int) ] ()));
+  check_bool "no attrs" true
+    (Result.is_error (Schema.define ~name:"x" ~attributes:[] ()));
+  check_bool "dup attrs" true
+    (Result.is_error
+       (Schema.define ~name:"x"
+          ~attributes:[ ("a", Vtype.Int); ("a", Vtype.Int) ] ()));
+  check_bool "bad spatial type" true
+    (Result.is_error
+       (Schema.define ~name:"x" ~attributes:[ ("s", Vtype.Int) ] ~spatial:"s" ()));
+  check_bool "missing spatial attr" true
+    (Result.is_error
+       (Schema.define ~name:"x" ~attributes:[ ("a", Vtype.Int) ] ~spatial:"s" ()))
+
+let test_schema_pp () =
+  let cls =
+    ok
+      (Schema.define ~name:"c"
+         ~attributes:[ ("data", Vtype.Image); ("timestamp", Vtype.Abstime) ]
+         ())
+  in
+  let s = Format.asprintf "%a" Schema.pp cls in
+  check_bool "mentions CLASS" true
+    (String.length s > 10 && String.sub s 0 7 = "CLASS c")
+
+(* ------------------------------------------------------------------ *)
+(* Concept                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_concept_dag () =
+  let c = Concept.create () in
+  let _ = ok (Concept.define c ~name:"Desert" ()) in
+  let _ = ok (Concept.define c ~name:"Hot" ~members:[ "c2"; "c3" ] ()) in
+  let _ = ok (Concept.define c ~name:"Cold" ~members:[ "c9" ] ()) in
+  ok (Concept.add_isa c ~sub:"Hot" ~super:"Desert");
+  ok (Concept.add_isa c ~sub:"Cold" ~super:"Desert");
+  Alcotest.(check (list string)) "children" [ "Cold"; "Hot" ]
+    (Concept.children c "Desert");
+  Alcotest.(check (list string)) "ancestors" [ "Desert" ] (Concept.ancestors c "Hot");
+  Alcotest.(check (list string)) "descendants" [ "Cold"; "Hot" ]
+    (Concept.descendants c "Desert");
+  Alcotest.(check (list string)) "leaves" [ "Cold"; "Hot" ]
+    (Concept.leaves c "Desert");
+  (* concept query reaches member classes of all descendants *)
+  Alcotest.(check (list string)) "classes_of" [ "c2"; "c3"; "c9" ]
+    (Concept.classes_of c "Desert");
+  Alcotest.(check (list string)) "concepts_of_class" [ "Hot" ]
+    (Concept.concepts_of_class c "c2")
+
+let test_concept_validation () =
+  let c = Concept.create () in
+  let _ = ok (Concept.define c ~name:"A" ()) in
+  let _ = ok (Concept.define c ~name:"B" ()) in
+  check_bool "dup" true (Result.is_error (Concept.define c ~name:"A" ()));
+  check_bool "self loop" true
+    (Result.is_error (Concept.add_isa c ~sub:"A" ~super:"A"));
+  ok (Concept.add_isa c ~sub:"A" ~super:"B");
+  check_bool "dup edge" true
+    (Result.is_error (Concept.add_isa c ~sub:"A" ~super:"B"));
+  check_bool "cycle" true (Result.is_error (Concept.add_isa c ~sub:"B" ~super:"A"));
+  check_bool "unknown" true
+    (Result.is_error (Concept.add_isa c ~sub:"A" ~super:"Z"));
+  ok (Concept.add_member c ~concept:"A" "cls1");
+  check_bool "member added" true
+    ((Option.get (Concept.find c "A")).Concept.members = [ "cls1" ])
+
+let test_concept_diamond () =
+  (* DAG, not tree: one concept under two parents *)
+  let c = Concept.create () in
+  List.iter (fun n -> ignore (ok (Concept.define c ~name:n ())))
+    [ "Top"; "Left"; "Right"; "Bottom" ];
+  ok (Concept.add_isa c ~sub:"Left" ~super:"Top");
+  ok (Concept.add_isa c ~sub:"Right" ~super:"Top");
+  ok (Concept.add_isa c ~sub:"Bottom" ~super:"Left");
+  ok (Concept.add_isa c ~sub:"Bottom" ~super:"Right");
+  Alcotest.(check (list string)) "both parents" [ "Left"; "Right" ]
+    (Concept.parents c "Bottom");
+  Alcotest.(check (list string)) "ancestors dedup" [ "Left"; "Right"; "Top" ]
+    (Concept.ancestors c "Bottom")
+
+(* ------------------------------------------------------------------ *)
+(* Kernel: classes, objects, processes                                 *)
+(* ------------------------------------------------------------------ *)
+
+let simple_kernel () =
+  let k = Kernel.create () in
+  let src =
+    ok
+      (Schema.define ~name:"src"
+         ~attributes:
+           [ ("tag", Vtype.Int); ("data", Vtype.Image);
+             ("spatialextent", Vtype.Box); ("timestamp", Vtype.Abstime) ]
+         ())
+  in
+  ok (Kernel.define_class k src);
+  let out =
+    ok
+      (Schema.define ~name:"out"
+         ~attributes:
+           [ ("data", Vtype.Image); ("spatialextent", Vtype.Box);
+             ("timestamp", Vtype.Abstime) ]
+         ~derived_by:"negate" ())
+  in
+  ok (Kernel.define_class k out);
+  let open Template in
+  let proc =
+    ok
+      (Process.define_primitive ~name:"negate" ~output_class:"out"
+         ~args:[ Process.scalar_arg "x" "src" ]
+         ~template:
+           (make ~assertions:[]
+              ~mappings:
+                [ { target = "data";
+                    rhs = Apply ("img_scale", [ Const (Value.float (-1.)); Attr_of ("x", "data") ]) };
+                  { target = "spatialextent"; rhs = Attr_of ("x", "spatialextent") };
+                  { target = "timestamp"; rhs = Attr_of ("x", "timestamp") } ])
+         ())
+  in
+  ok (Kernel.define_process k proc);
+  k
+
+let insert_src k tag v =
+  ok
+    (Kernel.insert_object k ~cls:"src"
+       [ ("tag", Value.int tag);
+         ("data", Value.image (Image.of_array ~nrow:1 ~ncol:2 Pixel.Float8 [| v; v +. 1. |]));
+         ("spatialextent", Value.box (Box.make ~xmin:0. ~ymin:0. ~xmax:1. ~ymax:1.));
+         ("timestamp", Value.abstime (Abstime.of_ymd 1986 1 1)) ])
+
+let test_kernel_objects () =
+  let k = simple_kernel () in
+  let oid = insert_src k 7 1.5 in
+  check_bool "attr" true (Kernel.object_attr k ~cls:"src" oid "tag" = Some (Value.int 7));
+  check_bool "class of object" true (Kernel.class_of_object k oid = Some "src");
+  check_int "count" 1 (Kernel.count_objects k "src");
+  Alcotest.(check (list int)) "objects" [ oid ] (Kernel.objects_of_class k "src");
+  (* validation *)
+  check_bool "missing attr" true
+    (Result.is_error (Kernel.insert_object k ~cls:"src" [ ("tag", Value.int 1) ]));
+  check_bool "unknown attr" true
+    (Result.is_error
+       (Kernel.insert_object k ~cls:"src"
+          [ ("tag", Value.int 1); ("data", Value.int 2); ("spatialextent", Value.int 3);
+            ("timestamp", Value.int 4); ("zzz", Value.int 5) ]));
+  check_bool "unknown class" true
+    (Result.is_error (Kernel.insert_object k ~cls:"nope" []));
+  check_bool "delete" true (Kernel.delete_object k ~cls:"src" oid);
+  check_int "deleted" 0 (Kernel.count_objects k "src")
+
+let test_kernel_duplicate_definitions () =
+  let k = simple_kernel () in
+  let dup = ok (Schema.define ~name:"src" ~attributes:[ ("a", Vtype.Int) ] ()) in
+  check_bool "dup class" true (Result.is_error (Kernel.define_class k dup));
+  let proc2 =
+    ok
+      (Process.define_primitive ~name:"negate" ~output_class:"out"
+         ~args:[ Process.scalar_arg "x" "src" ]
+         ~template:(Template.make ~assertions:[] ~mappings:[])
+         ())
+  in
+  check_bool "dup process version" true (Result.is_error (Kernel.define_process k proc2))
+
+let test_kernel_execute_process () =
+  let k = simple_kernel () in
+  let oid = insert_src k 1 2.0 in
+  let proc = Option.get (Kernel.find_process k "negate") in
+  let task = ok (Kernel.execute_process k proc ~inputs:[ ("x", [ oid ]) ]) in
+  check_int "one output" 1 (List.length task.Task.outputs);
+  let out = List.hd task.Task.outputs in
+  (match Kernel.object_attr k ~cls:"out" out "data" with
+   | Some (Value.VImage img) ->
+     Alcotest.(check (float 0.)) "negated" (-2.) (Image.get img 0 0)
+   | _ -> Alcotest.fail "no data");
+  check_int "executions counter" 1 (Kernel.counters k).Kernel.executions;
+  check_int "pixels counter" 2 (Kernel.counters k).Kernel.pixels_processed;
+  check_int "clock advanced" 1 (Kernel.clock k);
+  (* task bookkeeping *)
+  check_bool "task producing" true (Kernel.task_producing k out = Some task);
+  check_bool "task using" true (Kernel.tasks_using k oid = [ task ]);
+  check_bool "find task" true (Kernel.find_task k task.Task.task_id = Some task)
+
+let test_kernel_execute_validation () =
+  let k = simple_kernel () in
+  let proc = Option.get (Kernel.find_process k "negate") in
+  check_bool "unbound arg" true
+    (Result.is_error (Kernel.execute_process k proc ~inputs:[]));
+  check_bool "cardinality" true
+    (Result.is_error (Kernel.execute_process k proc ~inputs:[ ("x", []) ]));
+  let o1 = insert_src k 1 1. and o2 = insert_src k 2 2. in
+  check_bool "too many for scalar" true
+    (Result.is_error (Kernel.execute_process k proc ~inputs:[ ("x", [ o1; o2 ]) ]))
+
+let test_kernel_recompute () =
+  let k = simple_kernel () in
+  let oid = insert_src k 1 3.5 in
+  let proc = Option.get (Kernel.find_process k "negate") in
+  let task = ok (Kernel.execute_process k proc ~inputs:[ ("x", [ oid ]) ]) in
+  let pairs = ok (Kernel.recompute_task k task) in
+  check_bool "recomputed data matches stored" true
+    (List.for_all
+       (fun (attr, v) ->
+         Kernel.object_attr k ~cls:"out" (List.hd task.Task.outputs) attr
+         = Some v)
+       pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Process versioning                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_process_edit_versioning () =
+  let k = simple_kernel () in
+  let v1 = Option.get (Kernel.find_process k "negate") in
+  (* edit under the same name: version 2, original retained *)
+  let v2 = ok (Process.edit v1 ~name:"negate" ~doc:"sharpened" ()) in
+  ok (Kernel.define_process k v2);
+  check_int "two versions" 2 (List.length (Kernel.process_versions k "negate"));
+  check_bool "latest is v2" true
+    ((Option.get (Kernel.find_process k "negate")).Process.version = 2);
+  check_bool "v1 still there" true
+    (Kernel.find_process k ~version:1 "negate" <> None);
+  check_bool "derived_from recorded" true
+    (v2.Process.derived_from = Some ("negate", 1));
+  (* edit under a new name: version 1 of the new process *)
+  let renamed = ok (Process.edit v1 ~name:"negate-strict" ()) in
+  check_int "fresh version" 1 renamed.Process.version;
+  check_bool "origin recorded" true
+    (renamed.Process.derived_from = Some ("negate", 1))
+
+let test_process_validation () =
+  check_bool "no args" true
+    (Result.is_error
+       (Process.define_primitive ~name:"p" ~output_class:"o" ~args:[]
+          ~template:(Template.make ~assertions:[] ~mappings:[]) ()));
+  check_bool "unbound param" true
+    (Result.is_error
+       (Process.define_primitive ~name:"p" ~output_class:"o"
+          ~args:[ Process.scalar_arg "x" "c" ]
+          ~template:
+            (Template.make ~assertions:[]
+               ~mappings:[ { Template.target = "a"; rhs = Template.Param "k" } ])
+          ()));
+  check_bool "undeclared arg in template" true
+    (Result.is_error
+       (Process.define_primitive ~name:"p" ~output_class:"o"
+          ~args:[ Process.scalar_arg "x" "c" ]
+          ~template:
+            (Template.make ~assertions:[]
+               ~mappings:
+                 [ { Template.target = "a"; rhs = Template.Attr_of ("y", "b") } ])
+          ()));
+  check_bool "compound step ref" true
+    (Result.is_error
+       (Process.define_compound ~name:"p" ~output_class:"o"
+          ~args:[ Process.setof_arg "x" "c" ]
+          ~steps:
+            [ { Process.step_process = "sub";
+                step_inputs = [ ("a", Process.From_step 0) ] } ]
+          ()))
+
+(* ------------------------------------------------------------------ *)
+(* Task serialization                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_task_sexp_roundtrip () =
+  let task =
+    { Task.task_id = 42; process = "p20"; process_version = 3;
+      inputs = [ ("bands", [ 1; 2; 3 ]); ("mask", [ 9 ]) ];
+      params = [ ("k", Value.int 12); ("cutoff", Value.float 2.5) ];
+      outputs = [ 100 ]; output_class = "land_cover"; clock = 17 }
+  in
+  match Task.of_sexp (Task.to_sexp task) with
+  | Ok t' ->
+    check_int "id" task.Task.task_id t'.Task.task_id;
+    check_bool "inputs" true (t'.Task.inputs = task.Task.inputs);
+    check_bool "params" true
+      (List.for_all2
+         (fun (n1, v1) (n2, v2) -> n1 = n2 && Value.equal v1 v2)
+         task.Task.params t'.Task.params);
+    check_str "class" task.Task.output_class t'.Task.output_class
+  | Error e -> Alcotest.failf "roundtrip: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* find_binding                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_find_binding_permutation () =
+  (* two args of one class distinguished only by an assertion: binding
+     search must try permutations (the NDVI red/nir situation) *)
+  let k = Kernel.create () in
+  let cls =
+    ok (Schema.define ~name:"band" ~attributes:[ ("channel", Vtype.Int) ] ())
+  in
+  ok (Kernel.define_class k cls);
+  let out = ok (Schema.define ~name:"o" ~attributes:[ ("z", Vtype.Int) ] ()) in
+  ok (Kernel.define_class k out);
+  let open Template in
+  let chan arg n =
+    Expr_true (Apply ("eq", [ Attr_of (arg, "channel"); Const (Value.int n) ]))
+  in
+  let proc =
+    ok
+      (Process.define_primitive ~name:"combine" ~output_class:"o"
+         ~args:[ Process.scalar_arg "red" "band"; Process.scalar_arg "nir" "band" ]
+         ~template:
+           (make
+              ~assertions:[ chan "red" 1; chan "nir" 2 ]
+              ~mappings:[ { target = "z"; rhs = Const (Value.int 0) } ])
+         ())
+  in
+  ok (Kernel.define_process k proc);
+  (* insert in the "wrong" order so the naive assignment fails *)
+  let nir = ok (Kernel.insert_object k ~cls:"band" [ ("channel", Value.int 2) ]) in
+  let red = ok (Kernel.insert_object k ~cls:"band" [ ("channel", Value.int 1) ]) in
+  let binding = ok (Kernel.find_binding k proc ~available:[ ("band", [ nir; red ]) ]) in
+  check_bool "red bound to channel-1 object" true
+    (List.assoc "red" binding = [ red ]);
+  check_bool "nir bound to channel-2 object" true
+    (List.assoc "nir" binding = [ nir ]);
+  (* exclusion: the only valid binding excluded -> error *)
+  check_bool "exclusion respected" true
+    (Result.is_error
+       (Kernel.find_binding k ~exclude:[ binding ] proc
+          ~available:[ ("band", [ nir; red ]) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Derivation: Fig 3 end-to-end + request_at                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig3_end_to_end () =
+  let k = Kernel.create () in
+  ok (Figures.install_fig3 k);
+  let oids = ok (Figures.load_tm_bands k ~seed:7 ~nrow:32 ~ncol:32 ()) in
+  check_int "3 bands" 3 (List.length oids);
+  let outcome = ok (Derivation.request k Figures.land_cover_class) in
+  check_int "one object" 1 (List.length outcome.Derivation.objects);
+  check_int "one task" 1 (List.length outcome.Derivation.new_tasks);
+  let oid = List.hd outcome.Derivation.objects in
+  check_bool "acyclic" true (Lineage.is_acyclic k);
+  check_bool "reproducible" true (ok (Lineage.verify_object k oid));
+  (* 12 land-cover classes as the process requires *)
+  (match Kernel.object_attr k ~cls:Figures.land_cover_class oid "numclass" with
+   | Some (Value.VInt 12) -> ()
+   | _ -> Alcotest.fail "numclass not mapped");
+  (* second request retrieves *)
+  let again = ok (Derivation.request k Figures.land_cover_class) in
+  check_int "no recompute" 0 (List.length again.Derivation.new_tasks)
+
+let test_fig3_guard_rejects_mismatched_extents () =
+  let k = Kernel.create () in
+  ok (Figures.install_fig3 k);
+  (* two bands here, one band with a disjoint extent: card(bands)=3
+     can only be met with the mismatched band, so assertions fail *)
+  let far =
+    Gaea_geo.Extent.make
+      (Box.make ~xmin:100. ~ymin:100. ~xmax:110. ~ymax:110.)
+      (Gaea_geo.Interval.instant (Abstime.of_ymd 1986 1 15))
+  in
+  let _ = ok (Figures.load_tm_bands k ~seed:1 ~nrow:8 ~ncol:8 ~n_bands:2 ()) in
+  let _ =
+    ok (Figures.load_tm_bands k ~seed:2 ~nrow:8 ~ncol:8 ~n_bands:1 ~extent:far ())
+  in
+  match Derivation.request k Figures.land_cover_class with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "guard should have rejected disjoint extents"
+
+let test_derivation_need_two_distinct () =
+  let k = Kernel.create () in
+  ok (Figures.install_vegetation k);
+  let _ = ok (Figures.load_avhrr_year k ~seed:1 ~year:1988 ()) in
+  let _ = ok (Figures.load_avhrr_year k ~seed:2 ~year:1989 ~vegetation_shift:0.2 ()) in
+  let outcome = ok (Derivation.request ~need:2 k Figures.ndvi_class) in
+  check_int "two objects" 2
+    (List.length (List.sort_uniq compare outcome.Derivation.objects));
+  check_int "two tasks" 2 (List.length outcome.Derivation.new_tasks);
+  (* the two NDVI maps must come from different years *)
+  let times =
+    List.filter_map
+      (fun oid -> Kernel.object_attr k ~cls:Figures.ndvi_class oid "timestamp")
+      outcome.Derivation.objects
+  in
+  check_int "distinct timestamps" 2
+    (List.length (List.sort_uniq compare (List.map Value.to_display times)))
+
+let test_request_at_interpolation () =
+  let k = simple_kernel () in
+  (* src snapshots at Jan 1 and Jan 11; ask for Jan 6 *)
+  let mk tag day v =
+    ok
+      (Kernel.insert_object k ~cls:"src"
+         [ ("tag", Value.int tag);
+           ("data", Value.image (Image.of_array ~nrow:1 ~ncol:1 Pixel.Float8 [| v |]));
+           ("spatialextent", Value.box (Box.make ~xmin:0. ~ymin:0. ~xmax:1. ~ymax:1.));
+           ("timestamp", Value.abstime (Abstime.of_ymd 1986 1 day)) ])
+  in
+  let _ = mk 1 1 10. and _ = mk 2 11 20. in
+  let outcome =
+    ok (Derivation.request_at k ~cls:"src" ~at:(Abstime.of_ymd 1986 1 6) ())
+  in
+  let oid = List.hd outcome.Derivation.objects in
+  (match Kernel.object_attr k ~cls:"src" oid "data" with
+   | Some (Value.VImage img) ->
+     Alcotest.(check (float 1e-9)) "midpoint" 15. (Image.get img 0 0)
+   | _ -> Alcotest.fail "no data");
+  check_int "interpolation counted" 1 (Kernel.counters k).Kernel.interpolations;
+  (* the interpolation task is recorded and reproducible *)
+  check_int "one task" 1 (List.length outcome.Derivation.new_tasks);
+  let task = List.hd outcome.Derivation.new_tasks in
+  check_str "generic process" Derivation.interpolation_process_name task.Task.process;
+  check_bool "interp task reproducible" true (ok (Lineage.verify_task k task));
+  (* direct hit afterwards: no new task *)
+  let again =
+    ok (Derivation.request_at k ~cls:"src" ~at:(Abstime.of_ymd 1986 1 6) ())
+  in
+  check_int "retrieved" 0 (List.length again.Derivation.new_tasks)
+
+let test_request_at_retrieves_exact () =
+  let k = simple_kernel () in
+  let oid = insert_src k 1 5. in
+  let outcome =
+    ok (Derivation.request_at k ~cls:"src" ~at:(Abstime.of_ymd 1986 1 1) ())
+  in
+  Alcotest.(check (list int)) "exact hit" [ oid ] outcome.Derivation.objects
+
+let test_request_at_no_data () =
+  let k = simple_kernel () in
+  check_bool "no snapshots" true
+    (Result.is_error
+       (Derivation.request_at k ~cls:"src" ~at:(Abstime.of_ymd 1986 1 1) ()))
+
+let test_derivation_failure_reported () =
+  let k = Kernel.create () in
+  ok (Figures.install_fig3 k);
+  (* no TM data at all *)
+  (match Derivation.request k Figures.land_cover_class with
+   | Error e -> check_bool "mentions class" true (String.length e > 0)
+   | Ok _ -> Alcotest.fail "should fail");
+  check_bool "derivable is false" false
+    (Derivation.derivable k Figures.land_cover_class)
+
+(* ------------------------------------------------------------------ *)
+(* Lineage                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let veg_kernel () =
+  let k = Kernel.create () in
+  ok (Figures.install_vegetation k);
+  let _ = ok (Figures.load_avhrr_year k ~seed:1 ~year:1988 ()) in
+  let _ = ok (Figures.load_avhrr_year k ~seed:2 ~year:1989 ~vegetation_shift:0.2 ()) in
+  let _ = ok (Derivation.request ~need:2 k Figures.ndvi_class) in
+  let run name =
+    let p = Option.get (Kernel.find_process k name) in
+    let binding =
+      ok
+        (Kernel.find_binding k p
+           ~available:
+             [ (Figures.ndvi_class, Kernel.objects_of_class k Figures.ndvi_class) ])
+    in
+    List.hd (ok (Kernel.execute_process k p ~inputs:binding)).Task.outputs
+  in
+  (k, run Figures.p_change_sub, run Figures.p_change_div)
+
+let test_lineage_ancestors () =
+  let k, by_sub, _ = veg_kernel () in
+  let ancestors = Lineage.ancestors k by_sub in
+  (* 2 NDVI maps + 4 AVHRR bands *)
+  check_int "six ancestors" 6 (List.length ancestors);
+  let bases = Lineage.base_inputs k by_sub in
+  check_int "four base inputs" 4 (List.length bases);
+  (* every base input is an AVHRR band *)
+  check_bool "all avhrr" true
+    (List.for_all
+       (fun oid -> Kernel.class_of_object k oid = Some Figures.avhrr_class)
+       bases);
+  (* descendants of a base band include the change map *)
+  let desc = Lineage.descendants k (List.hd bases) in
+  check_bool "descends to change" true (List.mem by_sub desc)
+
+let test_lineage_signatures () =
+  let k, by_sub, by_div = veg_kernel () in
+  check_bool "different derivations" false (Lineage.same_derivation k by_sub by_div);
+  let report = Lineage.compare_derivations k by_sub by_div in
+  check_bool "explains difference" true
+    (String.length report > 40);
+  (* two objects derived identically share the signature *)
+  let p = Option.get (Kernel.find_process k Figures.p_change_sub) in
+  let binding =
+    ok
+      (Kernel.find_binding k p
+         ~available:
+           [ (Figures.ndvi_class, Kernel.objects_of_class k Figures.ndvi_class) ])
+  in
+  let again = List.hd (ok (Kernel.execute_process k p ~inputs:binding)).Task.outputs in
+  check_bool "same derivation" true (Lineage.same_derivation k by_sub again)
+
+let test_lineage_tree_and_explain () =
+  let k, by_sub, _ = veg_kernel () in
+  let tree = Lineage.derivation_tree k by_sub in
+  check_bool "has producing task" true (tree.Lineage.via <> None);
+  let explain = Lineage.explain k by_sub in
+  check_bool "mentions base data" true
+    (String.length explain > 50);
+  check_bool "acyclic" true (Lineage.is_acyclic k)
+
+let test_lineage_verify_detects_change () =
+  (* verify_object fails once a direct input of the producing task is
+     gone: the recorded derivation can no longer be recomputed *)
+  let k, by_sub, _ = veg_kernel () in
+  check_bool "verifies before" true (ok (Lineage.verify_object k by_sub));
+  let task = Option.get (Kernel.task_producing k by_sub) in
+  let direct_input = List.hd (Task.input_oids task) in
+  ignore (Kernel.delete_object k ~cls:Figures.ndvi_class direct_input);
+  check_bool "verification now errors" true
+    (Result.is_error (Lineage.verify_object k by_sub));
+  (* deleting a grandparent does NOT break the direct recomputation:
+     the task's own inputs are still stored *)
+  let k2, by_sub2, _ = veg_kernel () in
+  let base = List.hd (Lineage.base_inputs k2 by_sub2) in
+  ignore (Kernel.delete_object k2 ~cls:Figures.avhrr_class base);
+  check_bool "still verifies from direct inputs" true
+    (ok (Lineage.verify_object k2 by_sub2))
+
+(* ------------------------------------------------------------------ *)
+(* Experiment                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_experiment_reproduce () =
+  let k = Kernel.create () in
+  ok (Figures.install_fig3 k);
+  let _ = ok (Figures.load_tm_bands k ~seed:3 ~nrow:16 ~ncol:16 ()) in
+  let m = Experiment.create_manager () in
+  ok (Experiment.begin_experiment m ~name:"e1" ~doc:"land cover 1986" ());
+  let outcome = ok (Derivation.request k Figures.land_cover_class) in
+  List.iter
+    (fun t -> ok (Experiment.record_task m ~experiment:"e1" t.Task.task_id))
+    outcome.Derivation.new_tasks;
+  ok (Experiment.add_note m ~experiment:"e1" "first classification");
+  ok (Experiment.add_concept m ~experiment:"e1" "LandCover");
+  let r = ok (Experiment.reproduce m k ~experiment:"e1") in
+  check_int "total" 1 r.Experiment.total;
+  check_int "reproduced" 1 r.Experiment.reproduced;
+  check_bool "no failures" true (r.Experiment.failures = []);
+  let report = ok (Experiment.report m k ~experiment:"e1") in
+  check_bool "report text" true (String.length report > 40);
+  check_bool "dup experiment" true
+    (Result.is_error (Experiment.begin_experiment m ~name:"e1" ()));
+  check_bool "unknown experiment" true
+    (Result.is_error (Experiment.reproduce m k ~experiment:"zzz"))
+
+(* ------------------------------------------------------------------ *)
+(* Figures: full schema / Fig 5                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_install_all () =
+  let k = Kernel.create () in
+  ok (Figures.install_all k);
+  check_int "nine classes" 9 (List.length (Kernel.classes k));
+  check_bool "has concepts" true
+    (List.length (Concept.all (Kernel.concepts k)) >= 5);
+  (* the net mirrors the schema *)
+  let view = Kernel.derivation_net k in
+  check_int "places = classes" 9
+    (Gaea_petri.Net.n_places view.Kernel.net);
+  check_bool "has transitions" true
+    (Gaea_petri.Net.n_transitions view.Kernel.net >= 7)
+
+let test_fig5_compound () =
+  let k = Kernel.create () in
+  ok (Figures.install_fig3 k);
+  ok (Figures.install_fig5 k);
+  let _ = ok (Figures.load_tm_bands k ~seed:10 ~nrow:16 ~ncol:16 ()) in
+  let compound = Option.get (Kernel.find_process k Figures.p_land_change) in
+  check_bool "is compound" true (Process.is_compound compound);
+  let bands = Kernel.objects_of_class k Figures.landsat_class in
+  let task =
+    ok
+      (Kernel.execute_process k compound
+         ~inputs:[ ("bands", [ List.nth bands 0; List.nth bands 1 ]) ])
+  in
+  (* compound expansion recorded one task per primitive step *)
+  check_int "two tasks recorded" 2 (List.length (Kernel.tasks k));
+  check_str "final task is the classification step" Figures.p_classify_change
+    task.Task.process;
+  (* the intermediate change image exists *)
+  check_int "intermediate stored" 1
+    (Kernel.count_objects k Figures.change_image_class);
+  check_bool "result reproducible" true
+    (ok (Lineage.verify_object k (List.hd task.Task.outputs)))
+
+let test_desert_parameters_differ () =
+  let k = Kernel.create () in
+  ok (Figures.install_deserts k);
+  let rain = ok (Figures.load_rainfall k ~seed:5 ~nrow:16 ~ncol:16 ()) in
+  let run name =
+    let p = Option.get (Kernel.find_process k name) in
+    List.hd (ok (Kernel.execute_process k p ~inputs:[ ("rain", [ rain ]) ])).Task.outputs
+  in
+  let d250 = run Figures.p_desert_250 in
+  let d200 = run Figures.p_desert_200 in
+  check_bool "different signatures" false (Lineage.same_derivation k d250 d200);
+  (* 200mm mask is a subset of the 250mm mask *)
+  let img oid =
+    match Kernel.object_attr k ~cls:Figures.desert_class oid "data" with
+    | Some (Value.VImage i) -> i
+    | _ -> Alcotest.fail "no mask"
+  in
+  let m250 = img d250 and m200 = img d200 in
+  let subset = ref true in
+  for i = 0 to Image.size m200 - 1 do
+    if Image.get_linear m200 i = 1. && Image.get_linear m250 i <> 1. then
+      subset := false
+  done;
+  check_bool "200mm subset of 250mm" true !subset
+
+(* ------------------------------------------------------------------ *)
+(* File-based baseline                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_filebased_shortcomings () =
+  let fb = Filebased.create () in
+  let img = Image.of_array ~nrow:2 ~ncol:2 Pixel.Float8 [| 1.; 2.; 3.; 4. |] in
+  Filebased.save fb ~name:"ndvi88" img;
+  check_int "one file" 1 (Filebased.file_count fb);
+  (* silent overwrite *)
+  Filebased.save fb ~name:"ndvi88" (Gaea_raster.Band_math.scale 2. img);
+  check_int "overwrite counted" 1 (Filebased.stats fb).Filebased.overwrites;
+  (* scientist a computes; scientist b cannot know what the file means
+     and recomputes *)
+  let work imgs = Gaea_raster.Band_math.scale 3. (List.hd imgs) in
+  let _ = ok (Filebased.run_analysis fb ~scientist:"a" ~output:"r" ~inputs:[ "ndvi88" ] work) in
+  check_int "computed once" 1 (Filebased.stats fb).Filebased.computations;
+  let _ = ok (Filebased.run_analysis fb ~scientist:"b" ~output:"r" ~inputs:[ "ndvi88" ] work) in
+  check_int "b recomputed" 2 (Filebased.stats fb).Filebased.computations;
+  (* a remembers and reuses *)
+  let _ = ok (Filebased.run_analysis fb ~scientist:"a" ~output:"r" ~inputs:[ "ndvi88" ] work) in
+  check_int "a reused" 2 (Filebased.stats fb).Filebased.computations;
+  check_bool "remembers" true (Filebased.remembers fb ~scientist:"a" "r");
+  (* missing file *)
+  check_bool "missing input" true
+    (Result.is_error
+       (Filebased.run_analysis fb ~scientist:"c" ~output:"x" ~inputs:[ "nope" ] work));
+  check_int "failed recall counted" 1 (Filebased.stats fb).Filebased.failed_recalls
+
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: the data-sharing roundtrip                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_persist_roundtrip () =
+  (* scientist A derives results; scientist B loads the export and can
+     query, trace and REPRODUCE everything *)
+  let k = Kernel.create () in
+  ok (Figures.install_all k);
+  let _ = ok (Figures.load_tm_bands k ~seed:7 ~nrow:16 ~ncol:16 ()) in
+  let _ = ok (Figures.load_avhrr_year k ~seed:1 ~year:1988 ()) in
+  let _ = ok (Figures.load_avhrr_year k ~seed:2 ~year:1989 ~vegetation_shift:0.2 ()) in
+  let lc = ok (Derivation.request k Figures.land_cover_class) in
+  let _ = ok (Derivation.request ~need:2 k Figures.ndvi_class) in
+  let text = Persist.save k in
+  match Persist.load text with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok k2 ->
+    check_int "classes restored" (List.length (Kernel.classes k))
+      (List.length (Kernel.classes k2));
+    check_int "processes restored"
+      (List.length (Kernel.all_process_versions k))
+      (List.length (Kernel.all_process_versions k2));
+    check_int "tasks restored" (List.length (Kernel.tasks k))
+      (List.length (Kernel.tasks k2));
+    check_int "concepts restored"
+      (List.length (Concept.all (Kernel.concepts k)))
+      (List.length (Concept.all (Kernel.concepts k2)));
+    (* the derived object is there with identical pixels *)
+    let oid = List.hd lc.Derivation.objects in
+    let img k =
+      match Kernel.object_attr k ~cls:Figures.land_cover_class oid "data" with
+      | Some (Value.VImage i) -> i
+      | _ -> Alcotest.fail "no data"
+    in
+    check_bool "pixels identical" true (Image.equal (img k) (img k2));
+    (* scientist B can verify A's derivations bit-for-bit *)
+    check_bool "lineage intact" true
+      (Kernel.task_producing k2 oid <> None);
+    check_bool "reproduces in the loaded kernel" true
+      (ok (Lineage.verify_object k2 oid));
+    (* and continue working: new derivations get fresh ids *)
+    let p = Option.get (Kernel.find_process k2 Figures.p_change_sub) in
+    let binding =
+      ok
+        (Kernel.find_binding k2 p
+           ~available:
+             [ (Figures.ndvi_class, Kernel.objects_of_class k2 Figures.ndvi_class) ])
+    in
+    let task = ok (Kernel.execute_process k2 p ~inputs:binding) in
+    check_bool "fresh task id" true
+      (task.Task.task_id > List.length (Kernel.tasks k));
+    check_bool "still acyclic" true (Lineage.is_acyclic k2)
+
+let test_persist_versions_roundtrip () =
+  let k = simple_kernel () in
+  let v1 = Option.get (Kernel.find_process k "negate") in
+  let v2 = ok (Process.edit v1 ~name:"negate" ()) in
+  ok (Kernel.define_process k v2);
+  match Persist.load (Persist.save k) with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok k2 ->
+    check_int "both versions" 2 (List.length (Kernel.process_versions k2 "negate"));
+    check_bool "latest is v2" true
+      ((Option.get (Kernel.find_process k2 "negate")).Process.version = 2)
+
+let test_persist_garbage () =
+  check_bool "garbage rejected" true (Result.is_error (Persist.load "(what)"));
+  check_bool "empty ok" true (Result.is_ok (Persist.load ""))
+
+(* ------------------------------------------------------------------ *)
+(* Template corner cases                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_template_introspection () =
+  let open Template in
+  let t =
+    make
+      ~assertions:[ Card_eq ("bands", 3); Common_space "bands" ]
+      ~mappings:
+        [ { target = "data";
+            rhs = Apply ("f", [ Attr_of ("bands", "data"); Param "k" ]) };
+          { target = "n"; rhs = Param "k" };
+          { target = "t"; rhs = Anyof (Attr_of ("other", "ts")) } ]
+  in
+  Alcotest.(check (list string)) "params" [ "k" ] (free_params t);
+  Alcotest.(check (list string)) "args" [ "bands"; "other" ] (referenced_args t);
+  check_bool "renders" true
+    (String.length (Format.asprintf "%a" (pp ~output_class:"C20") t) > 50);
+  check_str "assertion text" "card(bands) = 3"
+    (assertion_to_string (Card_eq ("bands", 3)))
+
+let () =
+  Alcotest.run "core"
+    [ ( "schema",
+        [ tc "define" test_schema_define;
+          tc "validation" test_schema_validation;
+          tc "pp" test_schema_pp ] );
+      ( "concept",
+        [ tc "dag" test_concept_dag;
+          tc "validation" test_concept_validation;
+          tc "diamond" test_concept_diamond ] );
+      ( "kernel",
+        [ tc "objects" test_kernel_objects;
+          tc "duplicate definitions" test_kernel_duplicate_definitions;
+          tc "execute process" test_kernel_execute_process;
+          tc "execute validation" test_kernel_execute_validation;
+          tc "recompute" test_kernel_recompute ] );
+      ( "process",
+        [ tc "edit versioning" test_process_edit_versioning;
+          tc "validation" test_process_validation ] );
+      ("task", [ tc "sexp roundtrip" test_task_sexp_roundtrip ]);
+      ("binding", [ tc "permutation + exclusion" test_find_binding_permutation ]);
+      ( "derivation",
+        [ tc "fig3 end-to-end" test_fig3_end_to_end;
+          tc "guard rejects extents" test_fig3_guard_rejects_mismatched_extents;
+          tc "need=2 distinct" test_derivation_need_two_distinct;
+          tc "request_at interpolates" test_request_at_interpolation;
+          tc "request_at exact hit" test_request_at_retrieves_exact;
+          tc "request_at no data" test_request_at_no_data;
+          tc "failure reported" test_derivation_failure_reported ] );
+      ( "lineage",
+        [ tc "ancestors" test_lineage_ancestors;
+          tc "signatures" test_lineage_signatures;
+          tc "tree and explain" test_lineage_tree_and_explain;
+          tc "verify detects loss" test_lineage_verify_detects_change ] );
+      ("experiment", [ tc "reproduce" test_experiment_reproduce ]);
+      ( "figures",
+        [ tc "install all" test_install_all;
+          tc "fig5 compound" test_fig5_compound;
+          tc "desert parameters" test_desert_parameters_differ ] );
+      ("filebased", [ tc "shortcomings" test_filebased_shortcomings ]);
+      ( "persist",
+        [ tc "share-and-reproduce roundtrip" test_persist_roundtrip;
+          tc "versions roundtrip" test_persist_versions_roundtrip;
+          tc "garbage" test_persist_garbage ] );
+      ("template", [ tc "introspection" test_template_introspection ]) ]

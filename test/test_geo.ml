@@ -1,0 +1,510 @@
+(* Tests for the spatio-temporal substrate: Abstime, Interval, Allen,
+   Box, Refsys, Extent. *)
+
+open Gaea_geo
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Abstime                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_abstime_epoch () =
+  check_str "epoch renders" "1970-01-01T00:00:00" (Abstime.to_string Abstime.epoch);
+  check_int "epoch seconds" 0 (Abstime.to_seconds Abstime.epoch)
+
+let test_abstime_roundtrip_known () =
+  List.iter
+    (fun (y, m, d) ->
+      let t = Abstime.of_ymd y m d in
+      Alcotest.(check (triple int int int))
+        (Printf.sprintf "%d-%d-%d" y m d)
+        (y, m, d) (Abstime.to_ymd t))
+    [ (1970, 1, 1); (1986, 1, 15); (2000, 2, 29); (1900, 3, 1); (1, 1, 1);
+      (1969, 12, 31); (1899, 2, 28); (2400, 2, 29) ]
+
+let test_abstime_leap_years () =
+  check_bool "2000 leap" true (Abstime.is_leap_year 2000);
+  check_bool "1900 not leap" false (Abstime.is_leap_year 1900);
+  check_bool "1988 leap" true (Abstime.is_leap_year 1988);
+  check_bool "1989 not leap" false (Abstime.is_leap_year 1989);
+  check_int "feb 1988" 29 (Abstime.days_in_month 1988 2);
+  check_int "feb 1989" 28 (Abstime.days_in_month 1989 2)
+
+let test_abstime_invalid () =
+  Alcotest.check_raises "feb 30" (Invalid_argument "Abstime.of_ymd: invalid date 1989-02-30")
+    (fun () -> ignore (Abstime.of_ymd 1989 2 30));
+  Alcotest.check_raises "month 13"
+    (Invalid_argument "Abstime.of_ymd: invalid date 1989-13-01") (fun () ->
+      ignore (Abstime.of_ymd 1989 13 1));
+  Alcotest.check_raises "bad time"
+    (Invalid_argument "Abstime.of_ymd_hms: invalid time 24:00:00") (fun () ->
+      ignore (Abstime.of_ymd_hms 1989 1 1 24 0 0))
+
+let test_abstime_hms () =
+  let t = Abstime.of_ymd_hms 1986 1 15 13 45 30 in
+  let (y, m, d), (hh, mm, ss) = Abstime.to_ymd_hms t in
+  Alcotest.(check (triple int int int)) "date" (1986, 1, 15) (y, m, d);
+  Alcotest.(check (triple int int int)) "time" (13, 45, 30) (hh, mm, ss);
+  check_str "iso" "1986-01-15T13:45:30" (Abstime.to_string t)
+
+let test_abstime_pre_epoch () =
+  let t = Abstime.of_ymd_hms 1969 12 31 23 0 0 in
+  check_bool "negative" true (Abstime.to_seconds t < 0);
+  check_str "renders" "1969-12-31T23:00:00" (Abstime.to_string t)
+
+let test_abstime_add_days () =
+  let t = Abstime.of_ymd 1988 12 31 in
+  check_str "across year" "1989-01-01T00:00:00"
+    (Abstime.to_string (Abstime.add_days t 1));
+  check_str "backwards" "1988-12-30T00:00:00"
+    (Abstime.to_string (Abstime.add_days t (-1)))
+
+let test_abstime_add_months_clamps () =
+  let jan31 = Abstime.of_ymd 1989 1 31 in
+  check_str "jan31 + 1 month = feb28" "1989-02-28T00:00:00"
+    (Abstime.to_string (Abstime.add_months jan31 1));
+  let jan31_leap = Abstime.of_ymd 1988 1 31 in
+  check_str "leap clamp" "1988-02-29T00:00:00"
+    (Abstime.to_string (Abstime.add_months jan31_leap 1));
+  check_str "minus 13 months" "1987-12-31T00:00:00"
+    (Abstime.to_string (Abstime.add_months jan31 (-13)))
+
+let test_abstime_add_years () =
+  let feb29 = Abstime.of_ymd 1988 2 29 in
+  check_str "leap to non-leap clamps" "1989-02-28T00:00:00"
+    (Abstime.to_string (Abstime.add_years feb29 1))
+
+let test_abstime_diff () =
+  let a = Abstime.of_ymd 1989 7 1 and b = Abstime.of_ymd 1988 7 1 in
+  check_float "365 days" 365. (Abstime.diff_days a b);
+  check_float "negative" (-365.) (Abstime.diff_days b a)
+
+let test_abstime_parse () =
+  List.iter
+    (fun s ->
+      match Abstime.of_string s with
+      | Some t -> check_bool (s ^ " reparses") true (Abstime.of_string (Abstime.to_string t) = Some t)
+      | None -> Alcotest.failf "should parse %s" s)
+    [ "1986-01-15"; "1986-01-15T12:30:00"; "1986-01-15 12:30:00" ];
+  List.iter
+    (fun s -> check_bool (s ^ " rejected") true (Abstime.of_string s = None))
+    [ "1986-13-01"; "1986-02-30"; "86-1-1x"; ""; "1986-01-15T25:00:00" ]
+
+let abstime_roundtrip_prop =
+  QCheck.Test.make ~name:"abstime ymd roundtrip" ~count:500
+    QCheck.(triple (int_range 1600 2400) (int_range 1 12) (int_range 1 28))
+    (fun (y, m, d) ->
+      let t = Abstime.of_ymd y m d in
+      Abstime.to_ymd t = (y, m, d))
+
+let abstime_day_arith_prop =
+  QCheck.Test.make ~name:"add_days n then -n is identity" ~count:500
+    QCheck.(pair (int_range (-200000) 200000) (int_range (-5000) 5000))
+    (fun (secs, days) ->
+      let t = Abstime.of_seconds secs in
+      Abstime.equal t (Abstime.add_days (Abstime.add_days t days) (-days)))
+
+let abstime_string_prop =
+  QCheck.Test.make ~name:"to_string/of_string roundtrip" ~count:500
+    QCheck.(int_range (-4000000000) 4000000000)
+    (fun secs ->
+      let t = Abstime.of_seconds secs in
+      Abstime.of_string (Abstime.to_string t) = Some t)
+
+(* ------------------------------------------------------------------ *)
+(* Interval                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let iv y1 m1 d1 y2 m2 d2 = Interval.of_ymd_pair (y1, m1, d1) (y2, m2, d2)
+
+let test_interval_make () =
+  let i = iv 1986 1 1 1986 12 31 in
+  check_float "duration" 364. (Interval.duration_days i);
+  check_bool "not instant" false (Interval.is_instant i);
+  Alcotest.check_raises "inverted"
+    (Invalid_argument
+       "Interval.make: stop 1986-01-01T00:00:00 before start 1987-01-01T00:00:00")
+    (fun () ->
+      ignore (Interval.make (Abstime.of_ymd 1987 1 1) (Abstime.of_ymd 1986 1 1)))
+
+let test_interval_contains () =
+  let i = iv 1986 1 1 1986 12 31 in
+  check_bool "mid" true (Interval.contains i (Abstime.of_ymd 1986 6 1));
+  check_bool "start incl" true (Interval.contains i (Abstime.of_ymd 1986 1 1));
+  check_bool "stop incl" true (Interval.contains i (Abstime.of_ymd 1986 12 31));
+  check_bool "outside" false (Interval.contains i (Abstime.of_ymd 1987 1 1))
+
+let test_interval_ops () =
+  let a = iv 1986 1 1 1986 6 30 and b = iv 1986 6 1 1986 12 31 in
+  check_bool "overlap" true (Interval.overlaps a b);
+  (match Interval.intersection a b with
+   | Some i ->
+     check_str "intersection" "[1986-06-01T00:00:00, 1986-06-30T00:00:00]"
+       (Interval.to_string i)
+   | None -> Alcotest.fail "expected intersection");
+  let h = Interval.hull a b in
+  check_bool "hull spans" true
+    (Interval.contains_interval ~outer:h ~inner:a
+     && Interval.contains_interval ~outer:h ~inner:b);
+  let c = iv 1990 1 1 1990 2 1 in
+  check_bool "disjoint" false (Interval.overlaps a c);
+  check_bool "no intersection" true (Interval.intersection a c = None)
+
+let test_interval_touching () =
+  (* closed intervals sharing an endpoint do overlap *)
+  let a = iv 1986 1 1 1986 6 1 and b = iv 1986 6 1 1986 12 1 in
+  check_bool "touching closed intervals overlap" true (Interval.overlaps a b)
+
+let interval_gen =
+  QCheck.Gen.(
+    map2
+      (fun s len -> Interval.make (Abstime.of_seconds s)
+          (Abstime.of_seconds (s + len)))
+      (int_range (-1000000) 1000000)
+      (int_range 1 500000))
+
+let interval_arb = QCheck.make ~print:Interval.to_string interval_gen
+
+let interval_overlap_sym_prop =
+  QCheck.Test.make ~name:"overlap is symmetric" ~count:500
+    QCheck.(pair interval_arb interval_arb)
+    (fun (a, b) -> Interval.overlaps a b = Interval.overlaps b a)
+
+let interval_intersection_prop =
+  QCheck.Test.make ~name:"intersection is within both" ~count:500
+    QCheck.(pair interval_arb interval_arb)
+    (fun (a, b) ->
+      match Interval.intersection a b with
+      | None -> not (Interval.overlaps a b)
+      | Some i ->
+        Interval.contains_interval ~outer:a ~inner:i
+        && Interval.contains_interval ~outer:b ~inner:i)
+
+let interval_hull_prop =
+  QCheck.Test.make ~name:"hull contains both" ~count:500
+    QCheck.(pair interval_arb interval_arb)
+    (fun (a, b) ->
+      let h = Interval.hull a b in
+      Interval.contains_interval ~outer:h ~inner:a
+      && Interval.contains_interval ~outer:h ~inner:b)
+
+(* ------------------------------------------------------------------ *)
+(* Allen                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_allen_examples () =
+  let rel a b = Allen.relate a b in
+  let i s e = Interval.make (Abstime.of_seconds s) (Abstime.of_seconds e) in
+  let cases =
+    [ (i 0 1, i 2 3, Allen.Before);
+      (i 0 1, i 1 2, Allen.Meets);
+      (i 0 2, i 1 3, Allen.Overlaps);
+      (i 0 1, i 0 2, Allen.Starts);
+      (i 1 2, i 0 3, Allen.During);
+      (i 1 2, i 0 2, Allen.Finishes);
+      (i 0 1, i 0 1, Allen.Equal);
+      (i 2 3, i 0 1, Allen.After);
+      (i 1 2, i 0 1, Allen.Met_by);
+      (i 1 3, i 0 2, Allen.Overlapped_by);
+      (i 0 2, i 0 1, Allen.Started_by);
+      (i 0 3, i 1 2, Allen.Contains);
+      (i 0 2, i 1 2, Allen.Finished_by) ]
+  in
+  List.iter
+    (fun (a, b, expected) ->
+      check_str
+        (Printf.sprintf "%s vs %s" (Interval.to_string a) (Interval.to_string b))
+        (Allen.to_string expected)
+        (Allen.to_string (rel a b)))
+    cases
+
+let test_allen_rejects_instants () =
+  let i = Interval.instant (Abstime.of_seconds 5) in
+  Alcotest.check_raises "instant"
+    (Invalid_argument "Allen.relate: instant (zero-duration) interval")
+    (fun () -> ignore (Allen.relate i i))
+
+let test_allen_names_roundtrip () =
+  List.iter
+    (fun r ->
+      match Allen.of_string (Allen.to_string r) with
+      | Some r' -> check_bool (Allen.to_string r) true (Allen.equal_relation r r')
+      | None -> Alcotest.failf "of_string failed for %s" (Allen.to_string r))
+    Allen.all
+
+let test_allen_compose_identity () =
+  List.iter
+    (fun r ->
+      Alcotest.(check (list string))
+        ("equal ∘ " ^ Allen.to_string r)
+        [ Allen.to_string r ]
+        (List.map Allen.to_string (Allen.compose Allen.Equal r)))
+    Allen.all
+
+let test_allen_compose_before () =
+  Alcotest.(check (list string))
+    "before ∘ before = before" [ "before" ]
+    (List.map Allen.to_string (Allen.compose Allen.Before Allen.Before));
+  (* before ∘ after is the full relation set *)
+  check_int "before ∘ after is unconstrained" 13
+    (List.length (Allen.compose Allen.Before Allen.After))
+
+let proper_interval_gen =
+  QCheck.Gen.(
+    map2
+      (fun s len ->
+        Interval.make (Abstime.of_seconds s) (Abstime.of_seconds (s + len)))
+      (int_range (-100) 100)
+      (int_range 1 100))
+
+let proper_arb = QCheck.make ~print:Interval.to_string proper_interval_gen
+
+let allen_inverse_prop =
+  QCheck.Test.make ~name:"relate b a = inverse (relate a b)" ~count:1000
+    QCheck.(pair proper_arb proper_arb)
+    (fun (a, b) ->
+      Allen.equal_relation (Allen.relate b a) (Allen.inverse (Allen.relate a b)))
+
+let allen_composition_sound_prop =
+  QCheck.Test.make ~name:"relate a c ∈ compose (relate a b) (relate b c)"
+    ~count:1000
+    QCheck.(triple proper_arb proper_arb proper_arb)
+    (fun (a, b, c) ->
+      let r1 = Allen.relate a b and r2 = Allen.relate b c in
+      List.exists
+        (Allen.equal_relation (Allen.relate a c))
+        (Allen.compose r1 r2))
+
+let allen_unique_prop =
+  QCheck.Test.make ~name:"exactly one relation holds" ~count:500
+    QCheck.(pair proper_arb proper_arb)
+    (fun (a, b) ->
+      let holding = List.filter (fun r -> Allen.holds r a b) Allen.all in
+      List.length holding = 1)
+
+(* ------------------------------------------------------------------ *)
+(* Box                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let box = Box.make
+
+let test_box_make () =
+  let b = box ~xmin:0. ~ymin:0. ~xmax:2. ~ymax:3. in
+  check_float "area" 6. (Box.area b);
+  check_float "width" 2. (Box.width b);
+  check_float "height" 3. (Box.height b);
+  Alcotest.check_raises "inverted"
+    (Invalid_argument "Box.make: inverted box (2,0,0,3)") (fun () ->
+      ignore (box ~xmin:2. ~ymin:0. ~xmax:0. ~ymax:3.));
+  Alcotest.check_raises "nan" (Invalid_argument "Box.make: xmin is not finite")
+    (fun () -> ignore (box ~xmin:Float.nan ~ymin:0. ~xmax:1. ~ymax:1.))
+
+let test_box_of_corners () =
+  let b = Box.of_corners (5., 7.) (1., 2.) in
+  check_float "xmin" 1. (Box.xmin b);
+  check_float "ymax" 7. (Box.ymax b)
+
+let test_box_predicates () =
+  let a = box ~xmin:0. ~ymin:0. ~xmax:10. ~ymax:10. in
+  let b = box ~xmin:5. ~ymin:5. ~xmax:15. ~ymax:15. in
+  let c = box ~xmin:20. ~ymin:20. ~xmax:30. ~ymax:30. in
+  check_bool "overlap" true (Box.overlaps a b);
+  check_bool "disjoint" false (Box.overlaps a c);
+  check_bool "touching counts" true
+    (Box.overlaps a (box ~xmin:10. ~ymin:0. ~xmax:20. ~ymax:10.));
+  check_bool "contains" true
+    (Box.contains ~outer:a ~inner:(box ~xmin:1. ~ymin:1. ~xmax:9. ~ymax:9.));
+  check_bool "contains self" true (Box.contains ~outer:a ~inner:a);
+  check_bool "point in" true (Box.contains_point a (5., 5.));
+  check_bool "point out" false (Box.contains_point a (11., 5.))
+
+let test_box_intersection_hull () =
+  let a = box ~xmin:0. ~ymin:0. ~xmax:10. ~ymax:10. in
+  let b = box ~xmin:5. ~ymin:5. ~xmax:15. ~ymax:15. in
+  (match Box.intersection a b with
+   | Some i ->
+     check_float "ixmin" 5. (Box.xmin i);
+     check_float "ixmax" 10. (Box.xmax i)
+   | None -> Alcotest.fail "expected intersection");
+  let h = Box.hull a b in
+  check_float "hxmax" 15. (Box.xmax h);
+  check_bool "hull list" true
+    (match Box.hull_list [ a; b ] with
+     | Some hl -> Box.equal hl h
+     | None -> false);
+  check_bool "hull empty" true (Box.hull_list [] = None)
+
+let test_box_string_roundtrip () =
+  let b = box ~xmin:(-1.5) ~ymin:2.25 ~xmax:3. ~ymax:4.125 in
+  (match Box.of_string (Box.to_string b) with
+   | Some b' -> check_bool "roundtrip" true (Box.equal b b')
+   | None -> Alcotest.fail "parse failed");
+  check_bool "inverted rejected" true (Box.of_string "(3,0,1,5)" = None);
+  check_bool "garbage rejected" true (Box.of_string "hello" = None)
+
+let test_box_transform () =
+  let b = box ~xmin:0. ~ymin:0. ~xmax:4. ~ymax:4. in
+  let t = Box.translate b ~dx:1. ~dy:(-1.) in
+  check_float "tx" 1. (Box.xmin t);
+  check_float "ty" (-1.) (Box.ymin t);
+  let s = Box.scale_about_center b 0.5 in
+  check_float "scaled area" 4. (Box.area s);
+  let cx, cy = Box.center s in
+  check_float "center preserved x" 2. cx;
+  check_float "center preserved y" 2. cy;
+  let e = Box.expand b 1. in
+  check_float "expanded" 36. (Box.area e);
+  (* shrinking past degenerate clamps at zero size *)
+  let z = Box.expand b (-10.) in
+  check_float "clamped" 0. (Box.area z)
+
+let box_gen =
+  QCheck.Gen.(
+    map
+      (fun (x1, y1, x2, y2) -> Box.of_corners (x1, y1) (x2, y2))
+      (quad (float_range (-100.) 100.) (float_range (-100.) 100.)
+         (float_range (-100.) 100.) (float_range (-100.) 100.)))
+
+let box_arb = QCheck.make ~print:Box.to_string box_gen
+
+let box_overlap_sym_prop =
+  QCheck.Test.make ~name:"box overlap symmetric" ~count:500
+    QCheck.(pair box_arb box_arb)
+    (fun (a, b) -> Box.overlaps a b = Box.overlaps b a)
+
+let box_intersection_prop =
+  QCheck.Test.make ~name:"intersection within both, hull contains both"
+    ~count:500
+    QCheck.(pair box_arb box_arb)
+    (fun (a, b) ->
+      let inter_ok =
+        match Box.intersection a b with
+        | None -> not (Box.overlaps a b)
+        | Some i -> Box.contains ~outer:a ~inner:i && Box.contains ~outer:b ~inner:i
+      in
+      let h = Box.hull a b in
+      inter_ok && Box.contains ~outer:h ~inner:a && Box.contains ~outer:h ~inner:b)
+
+let box_area_prop =
+  QCheck.Test.make ~name:"area = width * height >= 0" ~count:500 box_arb
+    (fun b -> Box.area b >= 0. && Box.area b = Box.width b *. Box.height b)
+
+(* ------------------------------------------------------------------ *)
+(* Refsys / Extent                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_refsys () =
+  check_bool "utm ok" true (Refsys.equal (Refsys.utm 18) (Refsys.Utm 18));
+  Alcotest.check_raises "utm zone" (Invalid_argument "Refsys.utm: zone 0 outside 1..60")
+    (fun () -> ignore (Refsys.utm 0));
+  check_bool "parse long/lat" true (Refsys.of_string "long/lat" = Some Refsys.Lat_long);
+  check_bool "parse utm" true (Refsys.of_string "UTM-18" = Some (Refsys.Utm 18));
+  check_bool "parse local" true
+    (Refsys.of_string "my-grid" = Some (Refsys.Local "my-grid"));
+  check_bool "unit roundtrip" true
+    (List.for_all
+       (fun u -> Refsys.unit_of_string (Refsys.unit_to_string u) = Some u)
+       [ Refsys.Degree; Refsys.Meter; Refsys.Kilometer ])
+
+let test_refsys_convert () =
+  (match Refsys.convert_length ~from_:Refsys.Kilometer ~to_:Refsys.Meter 2.5 with
+   | Some v -> check_float "km->m" 2500. v
+   | None -> Alcotest.fail "conversion failed");
+  check_bool "deg->m impossible" true
+    (Refsys.convert_length ~from_:Refsys.Degree ~to_:Refsys.Meter 1. = None);
+  (match Refsys.convert_length ~from_:Refsys.Degree ~to_:Refsys.Degree 30. with
+   | Some v -> check_float "deg->deg id" 30. v
+   | None -> Alcotest.fail "identity failed")
+
+let mk_extent x1 y1 x2 y2 (ys, ms, ds) (ye, me, de) =
+  Extent.make
+    (box ~xmin:x1 ~ymin:y1 ~xmax:x2 ~ymax:y2)
+    (iv ys ms ds ye me de)
+
+let test_extent_common () =
+  let e1 = mk_extent 0. 0. 10. 10. (1986, 1, 1) (1986, 6, 1) in
+  let e2 = mk_extent 5. 5. 15. 15. (1986, 5, 1) (1986, 12, 1) in
+  let e3 = mk_extent 50. 50. 60. 60. (1990, 1, 1) (1990, 2, 1) in
+  check_bool "overlap mode ok" true (Extent.common Extent.Overlap [ e1; e2 ]);
+  check_bool "same mode fails" false (Extent.common Extent.Same [ e1; e2 ]);
+  check_bool "same mode identical" true (Extent.common Extent.Same [ e1; e1 ]);
+  check_bool "disjoint fails" false (Extent.common Extent.Overlap [ e1; e3 ]);
+  check_bool "empty vacuous" true (Extent.common Extent.Same []);
+  check_bool "singleton vacuous" true (Extent.common Extent.Overlap [ e3 ])
+
+let test_extent_refsys_mismatch () =
+  let e1 = mk_extent 0. 0. 10. 10. (1986, 1, 1) (1986, 6, 1) in
+  let e2 =
+    Extent.make ~refsys:(Refsys.utm 18)
+      (box ~xmin:0. ~ymin:0. ~xmax:10. ~ymax:10.)
+      (iv 1986 1 1 1986 6 1)
+  in
+  check_bool "different refsys not common" false
+    (Extent.common Extent.Overlap [ e1; e2 ]);
+  check_bool "no intersection across refsys" true
+    (Extent.intersection e1 e2 = None);
+  check_bool "no overlap across refsys" false (Extent.overlaps e1 e2)
+
+let test_extent_intersection () =
+  let e1 = mk_extent 0. 0. 10. 10. (1986, 1, 1) (1986, 6, 1) in
+  let e2 = mk_extent 5. 5. 15. 15. (1986, 5, 1) (1986, 12, 1) in
+  match Extent.intersection e1 e2 with
+  | Some i ->
+    check_float "space" 5. (Box.xmin i.Extent.space);
+    check_bool "time" true
+      (Abstime.equal (Interval.start i.Extent.time) (Abstime.of_ymd 1986 5 1))
+  | None -> Alcotest.fail "expected intersection"
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "geo"
+    [ ( "abstime",
+        [ Alcotest.test_case "epoch" `Quick test_abstime_epoch;
+          Alcotest.test_case "roundtrip known dates" `Quick test_abstime_roundtrip_known;
+          Alcotest.test_case "leap years" `Quick test_abstime_leap_years;
+          Alcotest.test_case "invalid dates" `Quick test_abstime_invalid;
+          Alcotest.test_case "time of day" `Quick test_abstime_hms;
+          Alcotest.test_case "pre-epoch" `Quick test_abstime_pre_epoch;
+          Alcotest.test_case "add days" `Quick test_abstime_add_days;
+          Alcotest.test_case "month arithmetic clamps" `Quick test_abstime_add_months_clamps;
+          Alcotest.test_case "year arithmetic" `Quick test_abstime_add_years;
+          Alcotest.test_case "diff" `Quick test_abstime_diff;
+          Alcotest.test_case "parsing" `Quick test_abstime_parse ] );
+      qsuite "abstime-props"
+        [ abstime_roundtrip_prop; abstime_day_arith_prop; abstime_string_prop ];
+      ( "interval",
+        [ Alcotest.test_case "make/duration" `Quick test_interval_make;
+          Alcotest.test_case "contains" `Quick test_interval_contains;
+          Alcotest.test_case "ops" `Quick test_interval_ops;
+          Alcotest.test_case "touching" `Quick test_interval_touching ] );
+      qsuite "interval-props"
+        [ interval_overlap_sym_prop; interval_intersection_prop;
+          interval_hull_prop ];
+      ( "allen",
+        [ Alcotest.test_case "all 13 examples" `Quick test_allen_examples;
+          Alcotest.test_case "instants rejected" `Quick test_allen_rejects_instants;
+          Alcotest.test_case "names roundtrip" `Quick test_allen_names_roundtrip;
+          Alcotest.test_case "compose identity" `Quick test_allen_compose_identity;
+          Alcotest.test_case "compose before" `Quick test_allen_compose_before ] );
+      qsuite "allen-props"
+        [ allen_inverse_prop; allen_composition_sound_prop; allen_unique_prop ];
+      ( "box",
+        [ Alcotest.test_case "make/area" `Quick test_box_make;
+          Alcotest.test_case "of_corners" `Quick test_box_of_corners;
+          Alcotest.test_case "predicates" `Quick test_box_predicates;
+          Alcotest.test_case "intersection/hull" `Quick test_box_intersection_hull;
+          Alcotest.test_case "string roundtrip" `Quick test_box_string_roundtrip;
+          Alcotest.test_case "transforms" `Quick test_box_transform ] );
+      qsuite "box-props"
+        [ box_overlap_sym_prop; box_intersection_prop; box_area_prop ];
+      ( "refsys-extent",
+        [ Alcotest.test_case "refsys" `Quick test_refsys;
+          Alcotest.test_case "conversions" `Quick test_refsys_convert;
+          Alcotest.test_case "common rules" `Quick test_extent_common;
+          Alcotest.test_case "refsys mismatch" `Quick test_extent_refsys_mismatch;
+          Alcotest.test_case "intersection" `Quick test_extent_intersection ] ) ]

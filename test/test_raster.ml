@@ -1,0 +1,696 @@
+(* Tests for the raster substrate: pixels, images, matrices,
+   eigendecomposition, band math, composites, statistics, classifiers,
+   PCA, interpolation, NDVI, synthetic scenes and the RNG. *)
+
+open Gaea_raster
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let check_close eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 42 in
+  let b = Rng.split a in
+  let x = Rng.int a 1000 and y = Rng.int b 1000 in
+  (* streams diverge (overwhelmingly likely for these seeds) *)
+  check_bool "values differ" true (x <> y || Rng.int a 1000 <> Rng.int b 1000)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 7 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let rng_int_bounds_prop =
+  QCheck.Test.make ~name:"Rng.int within bounds" ~count:500
+    QCheck.(pair (int_range 0 10000) (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng n in
+      v >= 0 && v < n)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 99 in
+  let n = 20000 in
+  let sum = ref 0. and sumsq = ref 0. in
+  for _ = 1 to n do
+    let x = Rng.gaussian rng in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  check_close 0.05 "mean ~ 0" 0. mean;
+  check_close 0.05 "var ~ 1" 1. var
+
+(* ------------------------------------------------------------------ *)
+(* Pixel                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_pixel_quantize () =
+  check_float "char clamps high" 255. (Pixel.quantize Pixel.Char 300.);
+  check_float "char clamps low" 0. (Pixel.quantize Pixel.Char (-5.));
+  check_float "char rounds" 4. (Pixel.quantize Pixel.Char 4.4);
+  check_float "int2 saturates" 32767. (Pixel.quantize Pixel.Int2 1e9);
+  check_float "int nan -> 0" 0. (Pixel.quantize Pixel.Int4 Float.nan);
+  check_float "float8 identity" 1.25 (Pixel.quantize Pixel.Float8 1.25);
+  (* float4 loses precision but is idempotent *)
+  let v = Pixel.quantize Pixel.Float4 0.1 in
+  check_float "float4 idempotent" v (Pixel.quantize Pixel.Float4 v)
+
+let test_pixel_meta () =
+  check_int "char bytes" 1 (Pixel.size_bytes Pixel.Char);
+  check_int "float8 bytes" 8 (Pixel.size_bytes Pixel.Float8);
+  check_bool "names roundtrip" true
+    (List.for_all
+       (fun p -> Pixel.of_string (Pixel.to_string p) = Some p)
+       Pixel.all);
+  check_bool "unknown name" true (Pixel.of_string "uint64" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Image                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_image_basics () =
+  let img = Image.init ~nrow:3 ~ncol:4 Pixel.Float8 (fun r c -> float_of_int ((r * 4) + c)) in
+  check_int "nrow" 3 (Image.img_nrow img);
+  check_int "ncol" 4 (Image.img_ncol img);
+  check_int "size" 12 (Image.size img);
+  check_float "get" 6. (Image.get img 1 2);
+  Alcotest.check_raises "oob" (Invalid_argument "Image: pixel (3,0) outside 3x4")
+    (fun () -> ignore (Image.get img 3 0));
+  let lo, hi = Image.min_max img in
+  check_float "min" 0. lo;
+  check_float "max" 11. hi
+
+let test_image_quantizes_on_write () =
+  let img = Image.create ~nrow:2 ~ncol:2 Pixel.Char in
+  Image.set img 0 0 300.;
+  check_float "clamped" 255. (Image.get img 0 0);
+  Image.set img 0 1 3.7;
+  check_float "rounded" 4. (Image.get img 0 1)
+
+let test_image_map2_mismatch () =
+  let a = Image.create ~nrow:2 ~ncol:2 Pixel.Float8 in
+  let b = Image.create ~nrow:2 ~ncol:3 Pixel.Float8 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Image.map2: size mismatch 2x2 vs 2x3") (fun () ->
+      ignore (Image.map2 ( +. ) a b))
+
+let test_image_hash_and_equal () =
+  let a = Image.init ~nrow:4 ~ncol:4 Pixel.Float8 (fun r c -> float_of_int (r + c)) in
+  let b = Image.init ~nrow:4 ~ncol:4 Pixel.Float8 (fun r c -> float_of_int (r + c)) in
+  check_bool "equal" true (Image.equal a b);
+  check_int "hash equal" (Image.content_hash a) (Image.content_hash b);
+  Image.set b 0 0 99.;
+  check_bool "not equal" false (Image.equal a b);
+  check_bool "hash differs" true (Image.content_hash a <> Image.content_hash b)
+
+let test_image_of_array_validation () =
+  Alcotest.check_raises "length"
+    (Invalid_argument "Image.of_array: 3 values for 2x2 image") (fun () ->
+      ignore (Image.of_array ~nrow:2 ~ncol:2 Pixel.Float8 [| 1.; 2.; 3. |]))
+
+let test_image_with_ptype () =
+  let a = Image.of_array ~nrow:1 ~ncol:3 Pixel.Float8 [| 1.4; 2.6; 300. |] in
+  let b = Image.with_ptype Pixel.Char a in
+  Alcotest.(check (list (float 0.))) "requantized" [ 1.; 3.; 255. ]
+    (Image.to_list b)
+
+let test_image_ascii () =
+  let img = Image.init ~nrow:2 ~ncol:2 Pixel.Float8 (fun r c -> float_of_int (r + c)) in
+  let s = Format.asprintf "%a" (Image.pp_ascii ?levels:None) img in
+  check_bool "nonempty" true (String.length s > 4)
+
+(* ------------------------------------------------------------------ *)
+(* Matrix                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_matrix_mul_identity () =
+  let m = Matrix.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  check_bool "I*m = m" true (Matrix.equal (Matrix.mul (Matrix.identity 2) m) m);
+  check_bool "m*I = m" true (Matrix.equal (Matrix.mul m (Matrix.identity 2)) m)
+
+let test_matrix_transpose () =
+  let m = Matrix.of_rows [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let t = Matrix.transpose m in
+  check_int "rows" 3 (Matrix.rows t);
+  check_float "cell" 6. (Matrix.get t 2 1);
+  check_bool "involution" true (Matrix.equal (Matrix.transpose t) m)
+
+let test_matrix_mul_known () =
+  let a = Matrix.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Matrix.of_rows [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let c = Matrix.mul a b in
+  check_float "c00" 19. (Matrix.get c 0 0);
+  check_float "c11" 50. (Matrix.get c 1 1);
+  Alcotest.check_raises "dim" (Invalid_argument "Matrix.mul: 2x2 * 3x1")
+    (fun () ->
+      ignore (Matrix.mul a (Matrix.create ~rows:3 ~cols:1)))
+
+let test_matrix_center () =
+  let m = Matrix.of_rows [| [| 1.; 10. |]; [| 3.; 20. |]; [| 5.; 30. |] |] in
+  let centered, means = Matrix.center_columns m in
+  Alcotest.(check (array (float 1e-9))) "means" [| 3.; 20. |] means;
+  let new_means = Matrix.column_means centered in
+  Alcotest.(check (array (float 1e-9))) "centered" [| 0.; 0. |] new_means
+
+let test_matrix_covariance () =
+  (* perfectly correlated columns *)
+  let m = Matrix.of_rows [| [| 1.; 2. |]; [| 2.; 4. |]; [| 3.; 6. |] |] in
+  let cov = Matrix.covariance m in
+  check_bool "symmetric" true (Matrix.is_symmetric cov);
+  check_float "var x" 1. (Matrix.get cov 0 0);
+  check_float "cov xy" 2. (Matrix.get cov 0 1);
+  let corr = Matrix.correlation m in
+  check_float "perfect corr" 1. (Matrix.get corr 0 1);
+  check_float "diag 1" 1. (Matrix.get corr 1 1)
+
+let test_matrix_correlation_constant_column () =
+  let m = Matrix.of_rows [| [| 1.; 5. |]; [| 2.; 5. |]; [| 3.; 5. |] |] in
+  let corr = Matrix.correlation m in
+  check_float "const col off-diag 0" 0. (Matrix.get corr 0 1);
+  check_float "const col diag 1" 1. (Matrix.get corr 1 1)
+
+let mat_gen =
+  QCheck.Gen.(
+    let dim = int_range 1 5 in
+    map3
+      (fun r c cells ->
+        Matrix.init ~rows:r ~cols:c (fun i j ->
+            cells.((i * c) + j)))
+      dim dim
+      (array_size (return 25) (float_range (-10.) 10.)))
+
+let mat_arb = QCheck.make ~print:(Format.asprintf "%a" Matrix.pp) mat_gen
+
+let matrix_transpose_mul_prop =
+  QCheck.Test.make ~name:"(A B)ᵀ = Bᵀ Aᵀ" ~count:200
+    QCheck.(pair mat_arb mat_arb)
+    (fun (a, b) ->
+      QCheck.assume (Matrix.cols a = Matrix.rows b);
+      Matrix.approx_equal ~eps:1e-6
+        (Matrix.transpose (Matrix.mul a b))
+        (Matrix.mul (Matrix.transpose b) (Matrix.transpose a)))
+
+(* ------------------------------------------------------------------ *)
+(* Eigen                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let random_symmetric seed n =
+  let rng = Rng.create seed in
+  let m = Matrix.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let v = Rng.float rng 10. -. 5. in
+      Matrix.set m i j v;
+      Matrix.set m j i v
+    done
+  done;
+  m
+
+let test_eigen_identity () =
+  let d = Eigen.decompose (Matrix.identity 4) in
+  Array.iter (fun v -> check_close 1e-9 "eigenvalue 1" 1. v) d.Eigen.values
+
+let test_eigen_known () =
+  (* [[2,1],[1,2]] has eigenvalues 3 and 1 *)
+  let m = Matrix.of_rows [| [| 2.; 1. |]; [| 1.; 2. |] |] in
+  let d = Eigen.decompose m in
+  check_close 1e-9 "l1" 3. d.Eigen.values.(0);
+  check_close 1e-9 "l2" 1. d.Eigen.values.(1)
+
+let test_eigen_reconstruct () =
+  List.iter
+    (fun seed ->
+      let m = random_symmetric seed 5 in
+      let d = Eigen.decompose m in
+      check_bool "reconstructs" true
+        (Matrix.approx_equal ~eps:1e-7 (Eigen.reconstruct d) m);
+      (* descending eigenvalues *)
+      let sorted = ref true in
+      for i = 0 to 3 do
+        if d.Eigen.values.(i) < d.Eigen.values.(i + 1) then sorted := false
+      done;
+      check_bool "descending" true !sorted;
+      (* orthonormal eigenvectors *)
+      let vtv =
+        Matrix.mul (Matrix.transpose d.Eigen.vectors) d.Eigen.vectors
+      in
+      check_bool "orthonormal" true
+        (Matrix.approx_equal ~eps:1e-7 vtv (Matrix.identity 5)))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_eigen_rejects_asymmetric () =
+  let m = Matrix.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Alcotest.check_raises "asymmetric"
+    (Invalid_argument "Eigen.decompose: matrix not symmetric") (fun () ->
+      ignore (Eigen.decompose m))
+
+let test_eigen_explained () =
+  let m = Matrix.of_rows [| [| 3.; 0. |]; [| 0.; 1. |] |] in
+  let d = Eigen.decompose m in
+  let e = Eigen.explained_variance d in
+  check_close 1e-9 "first" 0.75 e.(0);
+  check_close 1e-9 "sums to 1" 1. (Array.fold_left ( +. ) 0. e)
+
+(* ------------------------------------------------------------------ *)
+(* Band math / NDVI                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let const_img v = Image.init ~nrow:4 ~ncol:4 Pixel.Float8 (fun _ _ -> v)
+
+let test_band_math () =
+  let a = const_img 10. and b = const_img 4. in
+  check_float "sub" 6. (Image.get (Band_math.subtract a b) 0 0);
+  check_float "div" 2.5 (Image.get (Band_math.divide a b) 0 0);
+  check_float "div by zero -> 0" 0.
+    (Image.get (Band_math.divide a (const_img 0.)) 0 0);
+  check_float "ratio" (6. /. 14.) (Image.get (Band_math.ratio a b) 0 0);
+  check_float "add" 14. (Image.get (Band_math.add a b) 0 0);
+  check_float "mult" 40. (Image.get (Band_math.multiply a b) 0 0);
+  check_float "scale" 30. (Image.get (Band_math.scale 3. a) 0 0);
+  check_float "abs diff" 6. (Image.get (Band_math.abs_diff b a) 0 0)
+
+let test_linear_combination () =
+  let a = const_img 1. and b = const_img 2. and c = const_img 3. in
+  let lc = Band_math.linear_combination [| 1.; -2.; 3. |] [ a; b; c ] in
+  check_float "1 - 4 + 9" 6. (Image.get lc 0 0);
+  Alcotest.check_raises "weight count"
+    (Invalid_argument "Band_math.linear_combination: 2 weights, 3 images")
+    (fun () ->
+      ignore (Band_math.linear_combination [| 1.; 2. |] [ a; b; c ]))
+
+let test_normalize_threshold () =
+  let img = Image.of_array ~nrow:1 ~ncol:3 Pixel.Float8 [| 0.; 5.; 10. |] in
+  let n = Band_math.normalize img in
+  Alcotest.(check (list (float 1e-9))) "normalized" [ 0.; 0.5; 1. ]
+    (Image.to_list n);
+  let t = Band_math.threshold 5. img in
+  Alcotest.(check (list (float 0.))) "threshold" [ 0.; 1.; 1. ]
+    (Image.to_list t);
+  let flat = Band_math.normalize (const_img 7.) in
+  check_float "constant maps to lo" 0. (Image.get flat 0 0)
+
+let test_ndvi () =
+  let red = const_img 50. and nir = const_img 150. in
+  let v = Ndvi.ndvi ~red ~nir () in
+  check_float "ndvi" 0.5 (Image.get v 0 0);
+  let lo, hi = Image.min_max v in
+  check_bool "range" true (lo >= -1. && hi <= 1.);
+  check_float "mean" 0.5 (Ndvi.mean_ndvi v);
+  check_float "veg fraction" 1. (Ndvi.vegetation_fraction v);
+  check_float "veg fraction cutoff" 0. (Ndvi.vegetation_fraction ~cutoff:0.9 v)
+
+let test_ndvi_change_methods_differ () =
+  let n88 = const_img 0.2 and n89 = const_img 0.4 in
+  let by_sub = Ndvi.change_by_subtraction n89 n88 in
+  let by_div = Ndvi.change_by_division n89 n88 in
+  check_close 1e-9 "sub" 0.2 (Image.get by_sub 0 0);
+  check_close 1e-9 "div" 2. (Image.get by_div 0 0)
+
+(* ------------------------------------------------------------------ *)
+(* Composite                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_composite () =
+  let b1 = const_img 1. and b2 = const_img 2. in
+  let c = Composite.of_bands [ b1; b2 ] in
+  check_int "bands" 2 (Composite.n_bands c);
+  check_int "pixels" 16 (Composite.n_pixels c);
+  Alcotest.(check (array (float 0.))) "pixel vector" [| 1.; 2. |]
+    (Composite.pixel_vector c 0);
+  Alcotest.check_raises "empty" (Invalid_argument "Composite.of_bands: no bands")
+    (fun () -> ignore (Composite.of_bands []));
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Composite.of_bands: band 1 size mismatch") (fun () ->
+      ignore
+        (Composite.of_bands
+           [ b1; Image.create ~nrow:2 ~ncol:2 Pixel.Float8 ]))
+
+let test_composite_matrix_roundtrip () =
+  let b1 = Image.init ~nrow:3 ~ncol:2 Pixel.Float8 (fun r c -> float_of_int ((r * 2) + c)) in
+  let b2 = Image.init ~nrow:3 ~ncol:2 Pixel.Float8 (fun r c -> float_of_int (10 + (r * 2) + c)) in
+  let c = Composite.of_bands [ b1; b2 ] in
+  let m = Composite.to_matrix c in
+  check_int "rows = pixels" 6 (Matrix.rows m);
+  check_int "cols = bands" 2 (Matrix.cols m);
+  let c' = Composite.of_matrix ~nrow:3 ~ncol:2 Pixel.Float8 m in
+  check_bool "roundtrip" true (Composite.equal c c')
+
+(* ------------------------------------------------------------------ *)
+(* Imgstats                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_imgstats () =
+  let img = Image.of_array ~nrow:1 ~ncol:5 Pixel.Float8 [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "mean" 3. (Imgstats.mean img);
+  check_float "variance" 2.5 (Imgstats.variance img);
+  check_float "sum" 15. (Imgstats.sum img);
+  check_float "p100" 5. (Imgstats.percentile img 100.);
+  check_float "p20" 1. (Imgstats.percentile img 20.);
+  let h = Imgstats.histogram ~bins:4 img in
+  check_int "bins" 4 (Array.length h);
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  check_int "histogram covers all" 5 total
+
+let test_imgstats_agreement () =
+  let a = Image.of_array ~nrow:1 ~ncol:4 Pixel.Int4 [| 0.; 1.; 2.; 3. |] in
+  let b = Image.of_array ~nrow:1 ~ncol:4 Pixel.Int4 [| 0.; 1.; 9.; 3. |] in
+  check_float "agreement" 0.75 (Imgstats.agreement a b);
+  check_float "rmse self" 0. (Imgstats.rmse a a);
+  let conf = Imgstats.confusion a b in
+  check_int "confusion (2,9)" 1 (Hashtbl.find conf (2, 9));
+  check_int "confusion (0,0)" 1 (Hashtbl.find conf (0, 0))
+
+(* ------------------------------------------------------------------ *)
+(* Kmeans                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let separated_composite () =
+  (* two clearly separated intensity groups *)
+  let img =
+    Image.init ~nrow:8 ~ncol:8 Pixel.Float8 (fun r _ ->
+        if r < 4 then 10. else 200.)
+  in
+  Composite.of_bands [ img ]
+
+let test_kmeans_recovers_clusters () =
+  let c = separated_composite () in
+  let result = Kmeans.unsuperclassify ~seed:1 c 2 in
+  (* pixels in the same half share a label; labels are 0 and 1 *)
+  let l0 = Image.get result.Kmeans.labels 0 0 in
+  let l1 = Image.get result.Kmeans.labels 7 7 in
+  check_bool "two labels" true (l0 <> l1);
+  check_bool "labels in range" true
+    (Image.fold (fun acc v -> acc && (v = 0. || v = 1.)) true result.Kmeans.labels);
+  (* stable relabeling: cluster 0 has the smaller centroid *)
+  check_bool "centroid order" true
+    (result.Kmeans.centroids.(0).(0) < result.Kmeans.centroids.(1).(0))
+
+let test_kmeans_deterministic () =
+  let scene = Synthetic.landsat_scene ~seed:3 ~nrow:16 ~ncol:16 () in
+  let r1 = Kmeans.unsuperclassify ~seed:5 scene.Synthetic.composite 4 in
+  let r2 = Kmeans.unsuperclassify ~seed:5 scene.Synthetic.composite 4 in
+  check_bool "same labels" true (Image.equal r1.Kmeans.labels r2.Kmeans.labels);
+  check_float "same inertia" r1.Kmeans.inertia r2.Kmeans.inertia
+
+let test_kmeans_inertia_decreases_with_k () =
+  let scene = Synthetic.landsat_scene ~seed:4 ~nrow:16 ~ncol:16 () in
+  let i1 = (Kmeans.unsuperclassify ~seed:5 scene.Synthetic.composite 1).Kmeans.inertia in
+  let i4 = (Kmeans.unsuperclassify ~seed:5 scene.Synthetic.composite 4).Kmeans.inertia in
+  check_bool "k=4 fits better than k=1" true (i4 <= i1)
+
+let test_kmeans_validation () =
+  let c = separated_composite () in
+  Alcotest.check_raises "k<1" (Invalid_argument "Kmeans.unsuperclassify: k < 1")
+    (fun () -> ignore (Kmeans.unsuperclassify c 0));
+  Alcotest.check_raises "k>n"
+    (Invalid_argument "Kmeans.unsuperclassify: k=65 > 64 pixels") (fun () ->
+      ignore (Kmeans.unsuperclassify c 65))
+
+let test_kmeans_k1 () =
+  let c = separated_composite () in
+  let r = Kmeans.unsuperclassify c 1 in
+  check_bool "all zero" true
+    (Image.fold (fun acc v -> acc && v = 0.) true r.Kmeans.labels)
+
+let test_kmeans_assign () =
+  let centroids = [| [| 0. |]; [| 10. |] |] in
+  check_int "near 0" 0 (Kmeans.assign centroids [| 2. |]);
+  check_int "near 10" 1 (Kmeans.assign centroids [| 8. |]);
+  check_int "tie goes low" 0 (Kmeans.assign centroids [| 5. |])
+
+(* ------------------------------------------------------------------ *)
+(* Maxlike                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_maxlike_recovers_truth () =
+  let scene = Synthetic.landsat_scene ~seed:11 ~nrow:24 ~ncol:24 ~classes:3 () in
+  let model = Maxlike.train scene.Synthetic.composite scene.Synthetic.truth in
+  check_int "three classes" 3 (List.length model);
+  let predicted = Maxlike.classify model scene.Synthetic.composite in
+  let agreement = Imgstats.agreement scene.Synthetic.truth predicted in
+  check_bool
+    (Printf.sprintf "high self-agreement (%.2f)" agreement)
+    true (agreement > 0.85)
+
+let test_maxlike_loglik_prefers_own_mean () =
+  let scene = Synthetic.landsat_scene ~seed:12 ~nrow:16 ~ncol:16 ~classes:2 () in
+  let model = Maxlike.train scene.Synthetic.composite scene.Synthetic.truth in
+  match model with
+  | [ c0; c1 ] ->
+    check_bool "own mean likelier (c0)" true
+      (Maxlike.log_likelihood c0 c0.Maxlike.mean
+       > Maxlike.log_likelihood c1 c0.Maxlike.mean)
+  | _ -> Alcotest.fail "expected 2 classes"
+
+let test_maxlike_unlabelled_skipped () =
+  let comp = separated_composite () in
+  let truth =
+    Image.init ~nrow:8 ~ncol:8 Pixel.Int4 (fun r _ ->
+        if r = 0 then -1. (* unlabelled *) else if r < 4 then 0. else 1.)
+  in
+  let model = Maxlike.train comp truth in
+  check_int "two classes despite holes" 2 (List.length model)
+
+let test_maxlike_no_labels () =
+  let comp = separated_composite () in
+  let truth = Image.init ~nrow:8 ~ncol:8 Pixel.Int4 (fun _ _ -> -1.) in
+  Alcotest.check_raises "no labels"
+    (Invalid_argument "Maxlike.train: no labelled pixels") (fun () ->
+      ignore (Maxlike.train comp truth))
+
+(* ------------------------------------------------------------------ *)
+(* PCA                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_pca_variance_concentration () =
+  (* band2 = 2*band1 + noise: the first PC should explain almost all *)
+  let rng = Rng.create 8 in
+  let b1 = Image.init ~nrow:16 ~ncol:16 Pixel.Float8 (fun _ _ -> Rng.float rng 100.) in
+  let b2 = Image.map (fun v -> (2. *. v) +. 0.001) b1 in
+  let r = Pca.pca (Composite.of_bands [ b1; b2 ]) in
+  check_bool "first component dominates" true (r.Pca.explained.(0) > 0.99);
+  check_int "components" 2 (Composite.n_bands r.Pca.components)
+
+let test_pca_components_uncorrelated () =
+  let scene = Synthetic.landsat_scene ~seed:15 ~nrow:16 ~ncol:16 ~bands:3 () in
+  let r = Pca.pca scene.Synthetic.composite in
+  let cov = Imgstats.band_covariance r.Pca.components in
+  check_close 1e-6 "pc1 pc2 cov 0" 0. (Matrix.get cov 0 1);
+  check_close 1e-6 "pc1 pc3 cov 0" 0. (Matrix.get cov 0 2)
+
+let test_spca_scale_invariant () =
+  (* standardized PCA ignores per-band scaling *)
+  let scene = Synthetic.landsat_scene ~seed:16 ~nrow:12 ~ncol:12 ~bands:2 () in
+  let bands = Composite.bands scene.Synthetic.composite in
+  let scaled =
+    Composite.of_bands
+      (List.mapi
+         (fun i b -> if i = 0 then Band_math.scale 100. b else b)
+         bands)
+  in
+  let r1 = Pca.spca scene.Synthetic.composite in
+  let r2 = Pca.spca scaled in
+  Array.iteri
+    (fun i v -> check_close 1e-6 (Printf.sprintf "eig %d" i) v r2.Pca.eigenvalues.(i))
+    r1.Pca.eigenvalues
+
+let test_pca_validation () =
+  let scene = Synthetic.landsat_scene ~seed:17 ~nrow:8 ~ncol:8 ~bands:2 () in
+  Alcotest.check_raises "components range"
+    (Invalid_argument "Pca: components=3 outside 1..2") (fun () ->
+      ignore (Pca.pca ~components:3 scene.Synthetic.composite))
+
+(* ------------------------------------------------------------------ *)
+(* Interpolation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_temporal_interpolation () =
+  let t1 = Gaea_geo.Abstime.of_ymd 1986 1 1 in
+  let t2 = Gaea_geo.Abstime.of_ymd 1986 1 11 in
+  let mid = Gaea_geo.Abstime.of_ymd 1986 1 6 in
+  let i1 = const_img 10. and i2 = const_img 20. in
+  check_float "at t1" 10.
+    (Image.get (Interpolate.temporal_linear ~at:t1 (t1, i1) (t2, i2)) 0 0);
+  check_float "at mid" 15.
+    (Image.get (Interpolate.temporal_linear ~at:mid (t1, i1) (t2, i2)) 0 0);
+  (* extrapolation *)
+  let t3 = Gaea_geo.Abstime.of_ymd 1986 1 21 in
+  check_float "extrapolated" 30.
+    (Image.get (Interpolate.temporal_linear ~at:t3 (t1, i1) (t2, i2)) 0 0);
+  Alcotest.check_raises "same time"
+    (Invalid_argument "Interpolate.temporal_linear: identical timestamps")
+    (fun () ->
+      ignore (Interpolate.temporal_linear ~at:t1 (t1, i1) (t1, i2)))
+
+let test_resize () =
+  let img = Image.init ~nrow:4 ~ncol:4 Pixel.Float8 (fun r c -> float_of_int ((r * 4) + c)) in
+  let up = Interpolate.resize_nearest img ~nrow:8 ~ncol:8 in
+  check_int "upsampled rows" 8 (Image.img_nrow up);
+  check_float "corner preserved" 0. (Image.get up 0 0);
+  let down = Interpolate.resize_bilinear img ~nrow:2 ~ncol:2 in
+  check_int "down rows" 2 (Image.img_nrow down);
+  (* bilinear of a linear ramp stays within the value range *)
+  let lo, hi = Image.min_max down in
+  check_bool "within range" true (lo >= 0. && hi <= 15.);
+  (* same-size bilinear resize is identity on pixel centers *)
+  let same = Interpolate.resize_bilinear img ~nrow:4 ~ncol:4 in
+  check_close 1e-9 "identity" (Image.get img 2 3) (Image.get same 2 3)
+
+let test_fill_missing () =
+  let img = Image.init ~nrow:4 ~ncol:4 Pixel.Float8 (fun _ _ -> 5.) in
+  Image.set img 1 1 Float.nan;
+  Image.set img 2 2 Float.nan;
+  let filled = Interpolate.fill_missing img in
+  check_bool "no nan left" true
+    (Image.fold (fun acc v -> acc && not (Float.is_nan v)) true filled);
+  check_float "filled value" 5. (Image.get filled 1 1);
+  check_float "untouched" 5. (Image.get filled 0 0)
+
+let test_fill_missing_all () =
+  let img = Image.init ~nrow:3 ~ncol:3 Pixel.Float8 (fun _ _ -> Float.nan) in
+  let filled = Interpolate.fill_missing img in
+  check_bool "no nan" true
+    (Image.fold (fun acc v -> acc && not (Float.is_nan v)) true filled)
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_synthetic_deterministic () =
+  let s1 = Synthetic.landsat_scene ~seed:9 ~nrow:16 ~ncol:16 () in
+  let s2 = Synthetic.landsat_scene ~seed:9 ~nrow:16 ~ncol:16 () in
+  check_bool "composites equal" true
+    (Composite.equal s1.Synthetic.composite s2.Synthetic.composite);
+  check_bool "truth equal" true (Image.equal s1.Synthetic.truth s2.Synthetic.truth);
+  let s3 = Synthetic.landsat_scene ~seed:10 ~nrow:16 ~ncol:16 () in
+  check_bool "different seed differs" false
+    (Composite.equal s1.Synthetic.composite s3.Synthetic.composite)
+
+let test_synthetic_truth_classes () =
+  let truth = Synthetic.landcover_truth ~seed:2 ~nrow:32 ~ncol:32 ~classes:4 in
+  let lo, hi = Image.min_max truth in
+  check_bool "labels in 0..3" true (lo >= 0. && hi <= 3.)
+
+let test_synthetic_noise_range () =
+  let noise = Synthetic.value_noise ~seed:1 ~nrow:16 ~ncol:16 () in
+  let lo, hi = Image.min_max noise in
+  check_bool "in [0,1]" true (lo >= 0. && hi <= 1.)
+
+let test_synthetic_rainfall () =
+  let rain = Synthetic.rainfall_map ~seed:1 ~nrow:16 ~ncol:16 ~max_mm:500. () in
+  let lo, hi = Image.min_max rain in
+  check_bool "range" true (lo >= 0. && hi <= 500.)
+
+let test_synthetic_clouds () =
+  let img = const_img 1. in
+  let cloudy = Synthetic.with_clouds ~seed:3 ~fraction:0.25 img in
+  let nan_count =
+    Image.fold (fun acc v -> if Float.is_nan v then acc + 1 else acc) 0 cloudy
+  in
+  check_int "exactly 25% blanked" 4 nan_count;
+  Alcotest.check_raises "bad fraction"
+    (Invalid_argument "Synthetic.with_clouds: fraction outside 0..1")
+    (fun () -> ignore (Synthetic.with_clouds ~seed:3 ~fraction:1.5 img))
+
+let test_red_nir_vegetation_signal () =
+  (* higher vegetation shift should raise mean NDVI *)
+  let r0, n0 = Synthetic.red_nir_pair ~seed:5 ~nrow:24 ~ncol:24 () in
+  let r1, n1 =
+    Synthetic.red_nir_pair ~seed:5 ~nrow:24 ~ncol:24 ~vegetation_shift:0.3 ()
+  in
+  let m0 = Ndvi.mean_ndvi (Ndvi.ndvi ~red:r0 ~nir:n0 ()) in
+  let m1 = Ndvi.mean_ndvi (Ndvi.ndvi ~red:r1 ~nir:n1 ()) in
+  check_bool "greening raises NDVI" true (m1 > m0)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let tc name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "raster"
+    [ ( "rng",
+        [ tc "deterministic" test_rng_deterministic;
+          tc "split" test_rng_split_independent;
+          tc "shuffle permutation" test_rng_shuffle_permutation;
+          tc "gaussian moments" test_rng_gaussian_moments ] );
+      qsuite "rng-props" [ rng_int_bounds_prop ];
+      ( "pixel",
+        [ tc "quantize" test_pixel_quantize; tc "meta" test_pixel_meta ] );
+      ( "image",
+        [ tc "basics" test_image_basics;
+          tc "quantizes on write" test_image_quantizes_on_write;
+          tc "map2 mismatch" test_image_map2_mismatch;
+          tc "hash and equal" test_image_hash_and_equal;
+          tc "of_array validation" test_image_of_array_validation;
+          tc "with_ptype" test_image_with_ptype;
+          tc "ascii" test_image_ascii ] );
+      ( "matrix",
+        [ tc "mul identity" test_matrix_mul_identity;
+          tc "transpose" test_matrix_transpose;
+          tc "mul known" test_matrix_mul_known;
+          tc "center columns" test_matrix_center;
+          tc "covariance/correlation" test_matrix_covariance;
+          tc "constant column" test_matrix_correlation_constant_column ] );
+      qsuite "matrix-props" [ matrix_transpose_mul_prop ];
+      ( "eigen",
+        [ tc "identity" test_eigen_identity;
+          tc "known 2x2" test_eigen_known;
+          tc "reconstruction" test_eigen_reconstruct;
+          tc "rejects asymmetric" test_eigen_rejects_asymmetric;
+          tc "explained variance" test_eigen_explained ] );
+      ( "band-math",
+        [ tc "arithmetic" test_band_math;
+          tc "linear combination" test_linear_combination;
+          tc "normalize/threshold" test_normalize_threshold;
+          tc "ndvi" test_ndvi;
+          tc "change methods differ" test_ndvi_change_methods_differ ] );
+      ( "composite",
+        [ tc "basics" test_composite;
+          tc "matrix roundtrip" test_composite_matrix_roundtrip ] );
+      ( "imgstats",
+        [ tc "descriptive" test_imgstats;
+          tc "agreement/confusion" test_imgstats_agreement ] );
+      ( "kmeans",
+        [ tc "recovers clusters" test_kmeans_recovers_clusters;
+          tc "deterministic" test_kmeans_deterministic;
+          tc "inertia vs k" test_kmeans_inertia_decreases_with_k;
+          tc "validation" test_kmeans_validation;
+          tc "k=1" test_kmeans_k1;
+          tc "assign" test_kmeans_assign ] );
+      ( "maxlike",
+        [ tc "recovers truth" test_maxlike_recovers_truth;
+          tc "log-likelihood" test_maxlike_loglik_prefers_own_mean;
+          tc "unlabelled skipped" test_maxlike_unlabelled_skipped;
+          tc "no labels" test_maxlike_no_labels ] );
+      ( "pca",
+        [ tc "variance concentration" test_pca_variance_concentration;
+          tc "uncorrelated components" test_pca_components_uncorrelated;
+          tc "spca scale invariance" test_spca_scale_invariant;
+          tc "validation" test_pca_validation ] );
+      ( "interpolate",
+        [ tc "temporal" test_temporal_interpolation;
+          tc "resize" test_resize;
+          tc "fill missing" test_fill_missing;
+          tc "fill all-missing" test_fill_missing_all ] );
+      ( "synthetic",
+        [ tc "deterministic" test_synthetic_deterministic;
+          tc "truth classes" test_synthetic_truth_classes;
+          tc "noise range" test_synthetic_noise_range;
+          tc "rainfall" test_synthetic_rainfall;
+          tc "clouds" test_synthetic_clouds;
+          tc "vegetation signal" test_red_nir_vegetation_signal ] ) ]

@@ -1,0 +1,356 @@
+(* Tests for the storage substrate (the Postgres stand-in): OIDs,
+   tuples, heap, indexes, tables, store, snapshots, statistics. *)
+
+module Oid = Gaea_storage.Oid
+module Tuple = Gaea_storage.Tuple
+module Heap = Gaea_storage.Heap
+module Index_hash = Gaea_storage.Index_hash
+module Index_btree = Gaea_storage.Index_btree
+module Table = Gaea_storage.Table
+module Store = Gaea_storage.Store
+module Snapshot = Gaea_storage.Snapshot
+module Stats = Gaea_storage.Stats
+module Vorder = Gaea_storage.Vorder
+module Value = Gaea_adt.Value
+module Vtype = Gaea_adt.Vtype
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let tc name f = Alcotest.test_case name `Quick f
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+(* ------------------------------------------------------------------ *)
+(* Oid / Vorder                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_oid_allocator () =
+  let a = Oid.allocator () in
+  check_int "first" 1 (Oid.fresh a);
+  check_int "second" 2 (Oid.fresh a);
+  check_int "current" 2 (Oid.current a);
+  Oid.advance_to a 100;
+  check_int "after advance" 101 (Oid.fresh a);
+  Oid.advance_to a 50;
+  (* no going backwards *)
+  check_int "monotone" 102 (Oid.fresh a)
+
+let test_vorder () =
+  let ok v = Result.get_ok v in
+  check_bool "int lt" true (ok (Vorder.compare (Value.int 1) (Value.int 2)) < 0);
+  check_bool "int/float mix" true
+    (ok (Vorder.compare (Value.int 2) (Value.float 1.5)) > 0);
+  check_bool "string" true
+    (ok (Vorder.compare (Value.string "a") (Value.string "b")) < 0);
+  check_bool "abstime" true
+    (ok
+       (Vorder.compare
+          (Value.abstime (Gaea_geo.Abstime.of_ymd 1986 1 1))
+          (Value.abstime (Gaea_geo.Abstime.of_ymd 1989 1 1)))
+     < 0);
+  check_bool "box unorderable" true
+    (Result.is_error
+       (Vorder.compare
+          (Value.box (Gaea_geo.Box.point 0. 0.))
+          (Value.box (Gaea_geo.Box.point 1. 1.))));
+  check_bool "cross-type error" true
+    (Result.is_error (Vorder.compare (Value.int 1) (Value.string "1")));
+  check_bool "orderable predicate" true
+    (Vorder.orderable Vtype.Abstime && not (Vorder.orderable Vtype.Image))
+
+(* ------------------------------------------------------------------ *)
+(* Tuple                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let desc () =
+  Result.get_ok
+    (Tuple.descriptor
+       [ ("name", Vtype.String); ("size", Vtype.Int); ("score", Vtype.Float) ])
+
+let test_tuple_descriptor () =
+  check_bool "dup attr" true
+    (Result.is_error (Tuple.descriptor [ ("a", Vtype.Int); ("a", Vtype.Int) ]));
+  check_bool "empty attrs" true (Result.is_error (Tuple.descriptor []));
+  check_bool "empty name" true
+    (Result.is_error (Tuple.descriptor [ ("", Vtype.Int) ]));
+  let d = desc () in
+  check_int "arity" 3 (Tuple.arity d);
+  check_bool "attr index" true (Tuple.attr_index d "size" = Some 1);
+  check_bool "attr type" true (Tuple.attr_type d "score" = Some Vtype.Float)
+
+let test_tuple_make () =
+  let d = desc () in
+  (match Tuple.make d [ Value.string "x"; Value.int 5; Value.float 1.5 ] with
+   | Ok t ->
+     check_bool "get by name" true
+       (Tuple.get_by_name t d "size" = Ok (Value.int 5))
+   | Error e -> Alcotest.failf "make: %s" e);
+  check_bool "arity error" true
+    (Result.is_error (Tuple.make d [ Value.string "x" ]));
+  check_bool "type error" true
+    (Result.is_error
+       (Tuple.make d [ Value.int 1; Value.int 5; Value.float 1. ]));
+  (* int widens into float attributes *)
+  (match Tuple.make d [ Value.string "x"; Value.int 5; Value.int 2 ] with
+   | Ok t ->
+     check_bool "widened" true
+       (Tuple.get_by_name t d "score" = Ok (Value.float 2.))
+   | Error e -> Alcotest.failf "widening: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mk_tuple d i =
+  Result.get_ok
+    (Tuple.make d
+       [ Value.string (Printf.sprintf "row%d" i); Value.int i;
+         Value.float (float_of_int i) ])
+
+let test_heap () =
+  let d = desc () in
+  let h = Heap.create () in
+  check_int "empty" 0 (Heap.length h);
+  List.iter
+    (fun i -> Result.get_ok (Heap.insert h i (mk_tuple d i)))
+    [ 1; 2; 3; 4; 5 ];
+  check_int "five" 5 (Heap.length h);
+  check_bool "dup oid" true (Result.is_error (Heap.insert h 3 (mk_tuple d 3)));
+  check_bool "get" true (Heap.get h 2 <> None);
+  check_bool "delete" true (Heap.delete h 2);
+  check_bool "delete again" false (Heap.delete h 2);
+  check_bool "gone" true (Heap.get h 2 = None);
+  check_int "four live" 4 (Heap.length h);
+  check_int "five allocated" 5 (Heap.allocated h);
+  (* scan preserves insertion order and skips tombstones *)
+  let seen = ref [] in
+  Heap.scan h (fun oid _ -> seen := oid :: !seen);
+  Alcotest.(check (list int)) "scan order" [ 1; 3; 4; 5 ] (List.rev !seen);
+  check_bool "find" true (Heap.find h (fun oid _ -> oid = 4) <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Indexes                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_index_hash () =
+  let idx = Index_hash.create () in
+  Index_hash.add idx (Value.string "a") 1;
+  Index_hash.add idx (Value.string "a") 2;
+  Index_hash.add idx (Value.string "b") 3;
+  Alcotest.(check (list int)) "find a" [ 1; 2 ] (Index_hash.find idx (Value.string "a"));
+  check_int "cardinality" 2 (Index_hash.cardinality idx);
+  check_int "entries" 3 (Index_hash.entries idx);
+  Index_hash.remove idx (Value.string "a") 1;
+  Alcotest.(check (list int)) "after remove" [ 2 ] (Index_hash.find idx (Value.string "a"));
+  Index_hash.remove idx (Value.string "a") 2;
+  check_int "key dropped" 1 (Index_hash.cardinality idx);
+  (* image-valued keys work (hash on content) *)
+  let img v =
+    Value.image
+      (Gaea_raster.Image.of_array ~nrow:1 ~ncol:1 Gaea_raster.Pixel.Float8
+         [| v |])
+  in
+  Index_hash.add idx (img 1.) 10;
+  Alcotest.(check (list int)) "image key" [ 10 ] (Index_hash.find idx (img 1.))
+
+let test_index_btree () =
+  let idx = Result.get_ok (Index_btree.create Vtype.Int) in
+  List.iter (fun (k, o) -> Result.get_ok (Index_btree.add idx (Value.int k) o))
+    [ (5, 50); (1, 10); (3, 30); (3, 31); (9, 90) ];
+  Alcotest.(check (list int)) "point" [ 30; 31 ] (Index_btree.find idx (Value.int 3));
+  Alcotest.(check (list int)) "range closed" [ 10; 30; 31; 50 ]
+    (Index_btree.range idx ~lo:(Value.int 1) ~hi:(Value.int 5) ());
+  Alcotest.(check (list int)) "range open low" [ 10; 30; 31 ]
+    (Index_btree.range idx ~hi:(Value.int 4) ());
+  Alcotest.(check (list int)) "full range" [ 10; 30; 31; 50; 90 ]
+    (Index_btree.range idx ());
+  check_bool "min" true (Index_btree.min_key idx = Some (Value.int 1));
+  check_bool "max" true (Index_btree.max_key idx = Some (Value.int 9));
+  Index_btree.remove idx (Value.int 3) 30;
+  Alcotest.(check (list int)) "after remove" [ 31 ] (Index_btree.find idx (Value.int 3));
+  check_bool "wrong type key" true
+    (Result.is_error (Index_btree.add idx (Value.string "x") 1));
+  check_bool "unorderable type" true
+    (Result.is_error (Index_btree.create Vtype.Image))
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let make_table () =
+  let d = desc () in
+  let t = Table.create ~name:"things" d in
+  List.iter
+    (fun i -> Result.get_ok (Table.insert t i
+       [ Value.string (Printf.sprintf "row%d" (i mod 3)); Value.int i;
+         Value.float (float_of_int i) ]))
+    [ 1; 2; 3; 4; 5; 6 ];
+  t
+
+let test_table_basic () =
+  let t = make_table () in
+  check_int "rows" 6 (Table.row_count t);
+  check_bool "get attr" true
+    (Table.get_attr t 4 "size" = Some (Value.int 4));
+  check_bool "delete" true (Table.delete t 4);
+  check_int "after delete" 5 (Table.row_count t);
+  check_bool "select" true
+    (List.length (Table.select t (fun _ tu -> Tuple.get tu 1 = Value.int 5)) = 1)
+
+let test_table_index_agreement () =
+  let t = make_table () in
+  let scan_result = Table.lookup_eq t "name" (Value.string "row1") in
+  check_bool "no index used" false (Table.last_access_used_index t);
+  Result.get_ok (Table.create_hash_index t "name");
+  let idx_result = Table.lookup_eq t "name" (Value.string "row1") in
+  check_bool "index used" true (Table.last_access_used_index t);
+  Alcotest.(check (list int)) "index agrees with scan"
+    (List.map fst scan_result) (List.map fst idx_result);
+  check_bool "dup index" true (Result.is_error (Table.create_hash_index t "name"))
+
+let test_table_range () =
+  let t = make_table () in
+  let scan = Table.lookup_range t "size" ~lo:(Value.int 2) ~hi:(Value.int 4) () in
+  Result.get_ok (Table.create_btree_index t "size");
+  let via_index = Table.lookup_range t "size" ~lo:(Value.int 2) ~hi:(Value.int 4) () in
+  check_bool "btree used" true (Table.last_access_used_index t);
+  Alcotest.(check (list int)) "range agrees" (List.map fst scan)
+    (List.map fst via_index);
+  Alcotest.(check (list int)) "ordered" [ 2; 3; 4 ] (List.map fst via_index)
+
+let test_table_index_maintained () =
+  let t = make_table () in
+  Result.get_ok (Table.create_hash_index t "size");
+  Result.get_ok (Table.insert t 100 [ Value.string "new"; Value.int 77; Value.float 0. ]);
+  check_bool "new row indexed" true
+    (List.map fst (Table.lookup_eq t "size" (Value.int 77)) = [ 100 ]);
+  ignore (Table.delete t 100);
+  check_bool "deletion unindexed" true
+    (Table.lookup_eq t "size" (Value.int 77) = [])
+
+let table_lookup_prop =
+  QCheck.Test.make ~name:"indexed lookup = scan lookup" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 40) (int_range 0 10))
+    (fun values ->
+      let d =
+        Result.get_ok (Tuple.descriptor [ ("k", Vtype.Int) ])
+      in
+      let t1 = Table.create ~name:"a" d in
+      let t2 = Table.create ~name:"b" d in
+      List.iteri
+        (fun i v ->
+          ignore (Table.insert t1 (i + 1) [ Value.int v ]);
+          ignore (Table.insert t2 (i + 1) [ Value.int v ]))
+        values;
+      ignore (Table.create_hash_index t2 "k");
+      List.for_all
+        (fun probe ->
+          List.map fst (Table.lookup_eq t1 "k" (Value.int probe))
+          = List.map fst (Table.lookup_eq t2 "k" (Value.int probe)))
+        [ 0; 1; 5; 10 ])
+
+(* ------------------------------------------------------------------ *)
+(* Store / Snapshot                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_store () =
+  let s = Store.create () in
+  let _ = Result.get_ok (Store.create_table s ~name:"t1" [ ("x", Vtype.Int) ]) in
+  check_bool "dup table" true
+    (Result.is_error (Store.create_table s ~name:"t1" [ ("x", Vtype.Int) ]));
+  let oid = Result.get_ok (Store.insert_values s ~table:"t1" [ Value.int 42 ]) in
+  check_bool "get" true (Store.get s ~table:"t1" oid <> None);
+  check_bool "bad table insert" true
+    (Result.is_error (Store.insert_values s ~table:"zzz" [ Value.int 1 ]));
+  Alcotest.(check (list string)) "names" [ "t1" ] (Store.table_names s);
+  check_int "rows" 1 (Store.total_rows s);
+  check_bool "drop" true (Store.drop_table s "t1");
+  check_bool "drop again" false (Store.drop_table s "t1")
+
+let test_snapshot_roundtrip () =
+  let s = Store.create () in
+  let tab =
+    Result.get_ok
+      (Store.create_table s ~name:"scenes"
+         [ ("label", Vtype.String); ("when_", Vtype.Abstime);
+           ("img", Vtype.Image) ])
+  in
+  Result.get_ok (Table.create_hash_index tab "label");
+  Result.get_ok (Table.create_btree_index tab "when_");
+  let img =
+    Gaea_raster.Image.of_array ~label:"x" ~nrow:2 ~ncol:2
+      Gaea_raster.Pixel.Float8
+      [| 1.5; -2.25; 0.; 1e10 |]
+  in
+  let oid =
+    Result.get_ok
+      (Store.insert_values s ~table:"scenes"
+         [ Value.string "alpha";
+           Value.abstime (Gaea_geo.Abstime.of_ymd 1986 1 15);
+           Value.image img ])
+  in
+  let text = Snapshot.save s in
+  match Snapshot.load text with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok s2 ->
+    let tab2 = Store.table_exn s2 "scenes" in
+    check_int "rows restored" 1 (Table.row_count tab2);
+    check_bool "indexes restored" true
+      (Table.has_hash_index tab2 "label" && Table.has_btree_index tab2 "when_");
+    (match Store.get s2 ~table:"scenes" oid with
+     | Some tu ->
+       (match Tuple.get tu 2 with
+        | Value.VImage img2 ->
+          check_bool "image bits preserved" true (Gaea_raster.Image.equal img img2)
+        | _ -> Alcotest.fail "not an image")
+     | None -> Alcotest.fail "row missing");
+    (* allocator resumed past loaded oids *)
+    let next = Store.fresh_oid s2 in
+    check_bool "fresh oid advances" true (next > oid);
+    (* index actually works after load *)
+    check_bool "lookup via restored index" true
+      (List.map fst (Table.lookup_eq tab2 "label" (Value.string "alpha"))
+       = [ oid ])
+
+let test_snapshot_garbage () =
+  check_bool "garbage rejected" true (Result.is_error (Snapshot.load "(not a table)"));
+  check_bool "valid empty" true (Result.is_ok (Snapshot.load ""))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats () =
+  let t = make_table () in
+  let s = Stats.analyze_table t in
+  check_int "rows" 6 s.Stats.n_rows;
+  let name_col = List.find (fun c -> c.Stats.attr = "name") s.Stats.columns in
+  check_int "3 distinct names" 3 name_col.Stats.n_distinct;
+  let size_col = List.find (fun c -> c.Stats.attr = "size") s.Stats.columns in
+  check_int "6 distinct sizes" 6 size_col.Stats.n_distinct;
+  check_bool "min" true (size_col.Stats.min_value = Some (Value.int 1));
+  check_bool "max" true (size_col.Stats.max_value = Some (Value.int 6));
+  Alcotest.(check (float 1e-9)) "selectivity" (1. /. 3.)
+    (Stats.selectivity_eq s "name");
+  Alcotest.(check (float 1e-9)) "unknown attr default" 0.1
+    (Stats.selectivity_eq s "nope")
+
+let () =
+  Alcotest.run "storage"
+    [ ("oid", [ tc "allocator" test_oid_allocator ]);
+      ("vorder", [ tc "ordering" test_vorder ]);
+      ( "tuple",
+        [ tc "descriptor" test_tuple_descriptor; tc "make" test_tuple_make ] );
+      ("heap", [ tc "operations" test_heap ]);
+      ( "indexes",
+        [ tc "hash" test_index_hash; tc "btree" test_index_btree ] );
+      ( "table",
+        [ tc "basics" test_table_basic;
+          tc "index agreement" test_table_index_agreement;
+          tc "range" test_table_range;
+          tc "index maintenance" test_table_index_maintained ] );
+      qsuite "table-props" [ table_lookup_prop ];
+      ( "store-snapshot",
+        [ tc "store" test_store;
+          tc "snapshot roundtrip" test_snapshot_roundtrip;
+          tc "snapshot garbage" test_snapshot_garbage ] );
+      ("stats", [ tc "analyze" test_stats ]) ]
