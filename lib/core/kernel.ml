@@ -14,6 +14,21 @@ type counters = {
   mutable retrievals : int;
   mutable interpolations : int;
   mutable pixels_processed : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+(* Provenance key of a derived result: the process identity, the exact
+   input binding (argument order preserved — templates index into it),
+   and the parameter bindings by content hash. *)
+type cache_key =
+  string * int * (string * Oid.t list) list * (string * int) list
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  invalidations : int;
 }
 
 type net_view = {
@@ -38,6 +53,8 @@ type t = {
   mutable next_task : int;
   mutable clock : int;
   mutable net_cache : net_view option;
+  result_cache : (cache_key, Task.t) Hashtbl.t;
+  mutable cache_invalidations : int;
   counters : counters;
 }
 
@@ -55,9 +72,11 @@ let create () =
     next_task = 1;
     clock = 0;
     net_cache = None;
+    result_cache = Hashtbl.create 64;
+    cache_invalidations = 0;
     counters =
       { executions = 0; retrievals = 0; interpolations = 0;
-        pixels_processed = 0 } }
+        pixels_processed = 0; cache_hits = 0; cache_misses = 0 } }
 
 let registry t = t.registry
 let store t = t.store
@@ -68,11 +87,81 @@ let reset_counters t =
   t.counters.executions <- 0;
   t.counters.retrievals <- 0;
   t.counters.interpolations <- 0;
-  t.counters.pixels_processed <- 0
+  t.counters.pixels_processed <- 0;
+  t.counters.cache_hits <- 0;
+  t.counters.cache_misses <- 0
 
 let clock t = t.clock
 
 let invalidate_net t = t.net_cache <- None
+
+(* ------------------------------------------------------------------ *)
+(* Derived-object result cache                                         *)
+(* ------------------------------------------------------------------ *)
+
+let cache_key_of (p : Process.t) inputs : cache_key =
+  ( p.Process.proc_name,
+    p.Process.version,
+    List.sort (fun (a, _) (b, _) -> String.compare a b) inputs,
+    List.map (fun (n, v) -> (n, Value.content_hash v)) p.Process.params
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b) )
+
+let cache_stats t =
+  { hits = t.counters.cache_hits;
+    misses = t.counters.cache_misses;
+    entries = Hashtbl.length t.result_cache;
+    invalidations = t.cache_invalidations }
+
+let clear_cache t =
+  t.cache_invalidations <- t.cache_invalidations + Hashtbl.length t.result_cache;
+  Hashtbl.reset t.result_cache
+
+let invalidate_cache_entries t pred =
+  let doomed =
+    Hashtbl.fold
+      (fun key task acc -> if pred key task then key :: acc else acc)
+      t.result_cache []
+  in
+  List.iter (Hashtbl.remove t.result_cache) doomed;
+  t.cache_invalidations <- t.cache_invalidations + List.length doomed
+
+(* Names whose (latest) definitions reach [name] through compound
+   steps: editing a sub-process stales every cached compound above it. *)
+let dependent_processes t name =
+  let reaches acc p =
+    List.exists (fun s -> List.mem s.Process.step_process acc) (Process.steps p)
+  in
+  let rec grow acc =
+    let next =
+      Hashtbl.fold
+        (fun pname versions acc' ->
+          if List.mem pname acc' then acc'
+          else if List.exists (reaches acc') versions then pname :: acc'
+          else acc')
+        t.procs acc
+    in
+    if List.length next = List.length acc then acc else grow next
+  in
+  grow [ name ]
+
+let invalidate_cache_process t name =
+  let stale = dependent_processes t name in
+  invalidate_cache_entries t (fun (pname, _, _, _) _ -> List.mem pname stale)
+
+let invalidate_cache_oid t oid =
+  invalidate_cache_entries t (fun (_, _, inputs, _) task ->
+      List.mem oid task.Task.outputs
+      || List.exists (fun (_, oids) -> List.mem oid oids) inputs)
+
+let invalidate_cache_class t cls =
+  invalidate_cache_entries t (fun (_, _, inputs, _) task ->
+      task.Task.output_class = cls
+      || List.exists
+           (fun (_, oids) ->
+             List.exists
+               (fun o -> Hashtbl.find_opt t.oid_class o = Some cls)
+               oids)
+           inputs)
 
 (* ------------------------------------------------------------------ *)
 (* Classes                                                             *)
@@ -158,7 +247,11 @@ let count_objects t cls =
 
 let delete_object t ~cls oid =
   let deleted = Store.delete t.store ~table:cls oid in
-  if deleted then Hashtbl.remove t.oid_class oid;
+  if deleted then begin
+    Hashtbl.remove t.oid_class oid;
+    (* cached results that consumed or produced the object are stale *)
+    invalidate_cache_oid t oid
+  end;
   deleted
 
 (* ------------------------------------------------------------------ *)
@@ -212,6 +305,10 @@ let define_process t (p : Process.t) =
              (fun a b -> Int.compare a.Process.version b.Process.version)
              (p :: versions));
         invalidate_net t;
+        (* re-versioning: cached results of this process (and of any
+           compound that expands to it) no longer reflect the latest
+           definition *)
+        if versions <> [] then invalidate_cache_process t name;
         Ok ()
       end
     end
@@ -482,7 +579,28 @@ let execute_primitive t (p : Process.t) inputs =
        ~inputs ~params:p.Process.params ~outputs:[ oid ]
        ~output_class:p.Process.output_class)
 
+(* all recorded outputs must still be stored for a cached task to be
+   served (guards callers that bypass delete_object) *)
+let outputs_live t (task : Task.t) =
+  task.Task.outputs <> []
+  && List.for_all (fun oid -> Hashtbl.mem t.oid_class oid) task.Task.outputs
+
 let rec execute_process t (p : Process.t) ~inputs =
+  let key = cache_key_of p inputs in
+  match Hashtbl.find_opt t.result_cache key with
+  | Some task when outputs_live t task ->
+    t.counters.cache_hits <- t.counters.cache_hits + 1;
+    Ok task
+  | stale ->
+    if stale <> None then Hashtbl.remove t.result_cache key;
+    t.counters.cache_misses <- t.counters.cache_misses + 1;
+    let result = execute_uncached t p ~inputs in
+    (match result with
+     | Ok task -> Hashtbl.replace t.result_cache key task
+     | Error _ -> ());
+    result
+
+and execute_uncached t (p : Process.t) ~inputs =
   match p.Process.kind with
   | Process.Primitive _ -> execute_primitive t p inputs
   | Process.Compound steps ->

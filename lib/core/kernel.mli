@@ -76,7 +76,15 @@ val execute_process :
 (** Bind the given objects to the process arguments, check cardinalities
     and assertions, evaluate the mappings, insert the output object and
     record the task.  Compound processes are expanded: each primitive
-    step yields its own task; the returned task is the final step's. *)
+    step yields its own task; the returned task is the final step's.
+
+    Results are memoized by provenance: a repeated call with the same
+    (process name, version, input binding, parameter bindings) returns
+    the originally recorded task — no recomputation, no duplicate
+    object, no new task — and counts as a cache hit in {!counters} /
+    {!cache_stats}.  Entries are invalidated when the process (or a
+    compound above it) gains a new version, and when an input or output
+    object is deleted. *)
 
 val recompute_task :
   t -> Task.t -> ((string * Gaea_adt.Value.t) list, string) result
@@ -152,9 +160,36 @@ type counters = {
   mutable retrievals : int;     (** direct object retrievals *)
   mutable interpolations : int;
   mutable pixels_processed : int; (** image pixels written by mappings *)
+  mutable cache_hits : int;     (** {!execute_process} calls served from cache *)
+  mutable cache_misses : int;   (** calls that actually executed *)
 }
 
 val counters : t -> counters
 val reset_counters : t -> unit
 val clock : t -> int
 (** Current logical time (increments per task). *)
+
+(** {2 Derived-object result cache} *)
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;          (** live memoized results *)
+  invalidations : int;    (** entries dropped by the hooks below *)
+}
+
+val cache_stats : t -> cache_stats
+
+val clear_cache : t -> unit
+(** Drop every memoized result (counts them as invalidations). *)
+
+val invalidate_cache_process : t -> string -> unit
+(** Drop memoized results of the named process and of every compound
+    process that (transitively) expands to it.  Called automatically
+    when {!define_process} adds a new version of an existing name. *)
+
+val invalidate_cache_class : t -> string -> unit
+(** Drop memoized results that read from or wrote to the named class —
+    the hook for callers that mutate a class's objects behind the
+    kernel's back (bulk loads, external edits).  {!delete_object}
+    already invalidates per-object. *)

@@ -1,0 +1,224 @@
+let default_grain = 4096
+let max_size = 8
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic chunking                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Boundaries depend only on (lo, hi, grain): bit-identical reductions
+   at any pool size. *)
+let chunk_ranges ~grain ~lo ~hi =
+  let len = hi - lo in
+  if len <= 0 then [||]
+  else begin
+    let n = (len + grain - 1) / grain in
+    Array.init n (fun i ->
+        let clo = lo + (i * grain) in
+        (clo, Stdlib.min hi (clo + grain)))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The pool                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  chunks : (int * int) array;
+  body : int -> int -> int -> unit; (* chunk index, lo, hi *)
+  next : int Atomic.t;              (* next chunk to claim *)
+  pending : int Atomic.t;           (* chunks not yet finished *)
+  err : exn option Atomic.t;
+}
+
+type pool = {
+  lanes : int; (* workers + the calling domain *)
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable job : job option;
+  mutable epoch : int;   (* bumped per job; workers wait on changes *)
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* true inside a worker or inside a caller's parallel region: nested
+   parallel calls degrade to the sequential path *)
+let in_parallel = Domain.DLS.new_key (fun () -> false)
+
+let run_job j =
+  let n = Array.length j.chunks in
+  let rec claim () =
+    let i = Atomic.fetch_and_add j.next 1 in
+    if i < n then begin
+      (try
+         let clo, chi = j.chunks.(i) in
+         j.body i clo chi
+       with e ->
+         ignore (Atomic.compare_and_set j.err None (Some e)));
+      Atomic.decr j.pending;
+      claim ()
+    end
+  in
+  claim ()
+
+let rec worker_loop p seen_epoch =
+  Mutex.lock p.mutex;
+  while (not p.stopping) && p.epoch = seen_epoch do
+    Condition.wait p.cond p.mutex
+  done;
+  let stopping = p.stopping in
+  let epoch = p.epoch in
+  let job = p.job in
+  Mutex.unlock p.mutex;
+  if not stopping then begin
+    (match job with Some j -> run_job j | None -> ());
+    worker_loop p epoch
+  end
+
+let make_pool lanes =
+  let p =
+    { lanes; mutex = Mutex.create (); cond = Condition.create ();
+      job = None; epoch = 0; stopping = false; domains = [] }
+  in
+  p.domains <-
+    List.init (lanes - 1) (fun _ ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set in_parallel true;
+            worker_loop p 0));
+  p
+
+(* ------------------------------------------------------------------ *)
+(* Global pool lifecycle                                               *)
+(* ------------------------------------------------------------------ *)
+
+let clamp_size n = Stdlib.max 1 (Stdlib.min max_size n)
+
+let default_size () =
+  match Sys.getenv_opt "GAEA_DOMAINS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n -> clamp_size n
+     | None -> clamp_size (Domain.recommended_domain_count ()))
+  | None -> clamp_size (Domain.recommended_domain_count ())
+
+let requested = ref None
+let pool = ref None
+
+(* One parallel region at a time; also protects the lifecycle. *)
+let region_mutex = Mutex.create ()
+
+let size () =
+  match !requested with
+  | Some n -> n
+  | None ->
+    let n = default_size () in
+    requested := Some n;
+    n
+
+let shutdown_pool p =
+  Mutex.lock p.mutex;
+  p.stopping <- true;
+  Condition.broadcast p.cond;
+  Mutex.unlock p.mutex;
+  List.iter Domain.join p.domains
+
+let shutdown () =
+  Mutex.lock region_mutex;
+  (match !pool with
+   | Some p -> shutdown_pool p
+   | None -> ());
+  pool := None;
+  Mutex.unlock region_mutex
+
+let set_size n =
+  let n = clamp_size n in
+  Mutex.lock region_mutex;
+  (match !pool with
+   | Some p when p.lanes <> n ->
+     shutdown_pool p;
+     pool := None
+   | _ -> ());
+  requested := Some n;
+  Mutex.unlock region_mutex
+
+(* caller holds region_mutex *)
+let get_pool () =
+  match !pool with
+  | Some p when p.lanes = size () -> p
+  | other ->
+    (match other with Some p -> shutdown_pool p | None -> ());
+    let p = make_pool (size ()) in
+    pool := Some p;
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Parallel iteration                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_parallel chunks body =
+  Mutex.lock region_mutex;
+  let p = get_pool () in
+  let j =
+    { chunks; body; next = Atomic.make 0;
+      pending = Atomic.make (Array.length chunks);
+      err = Atomic.make None }
+  in
+  Mutex.lock p.mutex;
+  p.job <- Some j;
+  p.epoch <- p.epoch + 1;
+  Condition.broadcast p.cond;
+  Mutex.unlock p.mutex;
+  Domain.DLS.set in_parallel true;
+  run_job j;
+  (* workers may still be draining their claimed chunks *)
+  while Atomic.get j.pending > 0 do
+    Domain.cpu_relax ()
+  done;
+  Domain.DLS.set in_parallel false;
+  Mutex.lock p.mutex;
+  p.job <- None;
+  Mutex.unlock p.mutex;
+  let err = Atomic.get j.err in
+  Mutex.unlock region_mutex;
+  match err with Some e -> raise e | None -> ()
+
+let sequential_ok ~grain ~lo ~hi =
+  size () = 1 || hi - lo <= grain || Domain.DLS.get in_parallel
+
+let parallel_for ?(grain = default_grain) ~lo ~hi body =
+  if sequential_ok ~grain ~lo ~hi then
+    for i = lo to hi - 1 do
+      body i
+    done
+  else
+    run_parallel (chunk_ranges ~grain ~lo ~hi) (fun _ clo chi ->
+        for i = clo to chi - 1 do
+          body i
+        done)
+
+let parallel_for_ranges ?(grain = default_grain) ~lo ~hi body =
+  if hi > lo then begin
+    if sequential_ok ~grain ~lo ~hi then body lo hi
+    else run_parallel (chunk_ranges ~grain ~lo ~hi) (fun _ clo chi -> body clo chi)
+  end
+
+let map_chunks ?(grain = default_grain) ~lo ~hi f =
+  let chunks = chunk_ranges ~grain ~lo ~hi in
+  let n = Array.length chunks in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    (* same chunk layout either way, so reductions associate identically *)
+    if size () = 1 || n = 1 || Domain.DLS.get in_parallel then
+      Array.iteri
+        (fun i (clo, chi) -> results.(i) <- Some (f clo chi))
+        chunks
+    else
+      run_parallel chunks (fun i clo chi -> results.(i) <- Some (f clo chi));
+    Array.map
+      (function
+        | Some v -> v
+        | None -> invalid_arg "Pool.map_chunks: missing chunk result")
+      results
+  end
+
+let parallel_for_reduce ?grain ~lo ~hi ~init ~reduce map =
+  Array.fold_left reduce init (map_chunks ?grain ~lo ~hi map)

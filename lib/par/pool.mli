@@ -1,0 +1,76 @@
+(** A fixed-size domain pool for data-parallel raster kernels.
+
+    One pool per process, created lazily on the first parallel call and
+    reused for every subsequent one — OCaml domains are heavyweight
+    (roughly a system thread plus a minor heap), so spawning per call
+    would dwarf the kernels it accelerates.  The pool holds
+    [size () - 1] worker domains; the calling domain is the remaining
+    lane and always participates in the work, so [size ()] is the
+    degree of parallelism.
+
+    {2 Determinism}
+
+    Chunk boundaries depend only on [(lo, hi, grain)] — {e never} on
+    the pool size — and reductions combine per-chunk partial results in
+    ascending chunk order.  A computation therefore produces
+    bit-identical results at any pool size (only the scheduling of
+    chunks onto domains varies), which is what the parity tests in
+    [test/test_par.ml] assert.  Bodies must write disjoint locations
+    and must not depend on evaluation order across chunks.
+
+    {2 Sequential fallback}
+
+    A call degrades to a plain loop (same chunking for reductions) when
+    the pool size is 1, when the range is at most one grain, or when it
+    is issued from inside another parallel region (no nested
+    parallelism).  *)
+
+val default_grain : int
+(** Indices per chunk when [?grain] is omitted (pixels, for raster
+    kernels): 4096 — small enough that a 512x512 image splits into 64
+    chunks, large enough that per-chunk overhead is noise. *)
+
+val max_size : int
+(** Hard cap on the pool size (8): past that, raster kernels here are
+    memory-bandwidth bound and extra domains only add scheduling
+    noise. *)
+
+val size : unit -> int
+(** Degree of parallelism the next parallel call will use.  Defaults to
+    [min max_size (Domain.recommended_domain_count ())], i.e. one
+    caller lane plus [recommended - 1] workers; the [GAEA_DOMAINS]
+    environment variable overrides the default at startup. *)
+
+val set_size : int -> unit
+(** Resize the pool (clamped to [1 .. max_size]).  Shuts the current
+    worker domains down and respawns lazily — meant for benchmarks and
+    parity tests; production code sets [GAEA_DOMAINS] once. *)
+
+val parallel_for : ?grain:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for ~lo ~hi body] runs [body i] for every [lo <= i < hi].
+    The body must be safe to run concurrently for distinct [i].
+    Exceptions raised by the body are re-raised in the caller (first
+    one wins). *)
+
+val parallel_for_ranges :
+  ?grain:int -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [parallel_for_ranges ~lo ~hi body] runs [body clo chi] once per
+    chunk, [clo] inclusive and [chi] exclusive.  Chunk-level bodies
+    avoid a closure call per index on tight pixel loops. *)
+
+val map_chunks : ?grain:int -> lo:int -> hi:int -> (int -> int -> 'a) -> 'a array
+(** [map_chunks ~lo ~hi f] computes [f clo chi] for every chunk and
+    returns the results in ascending chunk order (deterministic at any
+    pool size).  An empty range yields [||]. *)
+
+val parallel_for_reduce :
+  ?grain:int -> lo:int -> hi:int -> init:'a -> reduce:('a -> 'a -> 'a)
+  -> (int -> int -> 'a) -> 'a
+(** [parallel_for_reduce ~lo ~hi ~init ~reduce map] computes [map clo
+    chi] per chunk and folds [reduce] left-to-right over the results —
+    i.e. [reduce (... (reduce init r0) ...) rn] — so float
+    accumulations associate identically at any pool size. *)
+
+val shutdown : unit -> unit
+(** Join the worker domains (the pool respawns lazily if used again).
+    Only needed by code that counts live domains. *)

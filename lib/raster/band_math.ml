@@ -1,25 +1,25 @@
 let f8 = Pixel.Float8
 
 let subtract ?(label = "subtract") a b =
-  Image.map2 ~label ~ptype:f8 (fun x y -> x -. y) a b
+  Image.par_map2 ~label ~ptype:f8 (fun x y -> x -. y) a b
 
 let divide ?(label = "divide") a b =
-  Image.map2 ~label ~ptype:f8 (fun x y -> if y = 0. then 0. else x /. y) a b
+  Image.par_map2 ~label ~ptype:f8 (fun x y -> if y = 0. then 0. else x /. y) a b
 
 let ratio ?(label = "ratio") a b =
-  Image.map2 ~label ~ptype:f8
+  Image.par_map2 ~label ~ptype:f8
     (fun x y ->
       let d = x +. y in
       if d = 0. then 0. else (x -. y) /. d)
     a b
 
-let add ?(label = "add") a b = Image.map2 ~label ~ptype:f8 ( +. ) a b
-let multiply ?(label = "multiply") a b = Image.map2 ~label ~ptype:f8 ( *. ) a b
-let scale ?(label = "scale") s t = Image.map ~label ~ptype:f8 (fun v -> s *. v) t
-let offset ?(label = "offset") d t = Image.map ~label ~ptype:f8 (fun v -> v +. d) t
+let add ?(label = "add") a b = Image.par_map2 ~label ~ptype:f8 ( +. ) a b
+let multiply ?(label = "multiply") a b = Image.par_map2 ~label ~ptype:f8 ( *. ) a b
+let scale ?(label = "scale") s t = Image.par_map ~label ~ptype:f8 (fun v -> s *. v) t
+let offset ?(label = "offset") d t = Image.par_map ~label ~ptype:f8 (fun v -> v +. d) t
 
 let abs_diff ?(label = "abs-diff") a b =
-  Image.map2 ~label ~ptype:f8 (fun x y -> Float.abs (x -. y)) a b
+  Image.par_map2 ~label ~ptype:f8 (fun x y -> Float.abs (x -. y)) a b
 
 let linear_combination ?(label = "linear-combination") weights imgs =
   let n = List.length imgs in
@@ -38,7 +38,7 @@ let linear_combination ?(label = "linear-combination") weights imgs =
       rest;
     let arrays = List.map Image.unsafe_data imgs in
     let nrow = Image.img_nrow first and ncol = Image.img_ncol first in
-    Image.init ~label ~nrow ~ncol f8 (fun r c ->
+    Image.par_init ~label ~nrow ~ncol f8 (fun r c ->
         let i = (r * ncol) + c in
         List.fold_left
           (fun (acc, k) data -> (acc +. (weights.(k) *. data.(i)), k + 1))
@@ -48,11 +48,11 @@ let linear_combination ?(label = "linear-combination") weights imgs =
 let normalize ?(label = "normalize") ?(lo = 0.) ?(hi = 1.) t =
   let vmin, vmax = Image.min_max t in
   let span = vmax -. vmin in
-  if span <= 0. then Image.map ~label ~ptype:f8 (fun _ -> lo) t
+  if span <= 0. then Image.par_map ~label ~ptype:f8 (fun _ -> lo) t
   else
-    Image.map ~label ~ptype:f8
+    Image.par_map ~label ~ptype:f8
       (fun v -> lo +. ((v -. vmin) /. span *. (hi -. lo)))
       t
 
 let threshold ?(label = "threshold") cutoff t =
-  Image.map ~label ~ptype:Pixel.Char (fun v -> if v >= cutoff then 1. else 0.) t
+  Image.par_map ~label ~ptype:Pixel.Char (fun v -> if v >= cutoff then 1. else 0.) t

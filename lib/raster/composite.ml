@@ -27,7 +27,7 @@ let pixel_vector t i =
   Array.map (fun b -> Image.get_linear b i) t.bands
 
 let to_matrix t =
-  Matrix.init ~rows:(n_pixels t) ~cols:(n_bands t) (fun i j ->
+  Matrix.par_init ~rows:(n_pixels t) ~cols:(n_bands t) (fun i j ->
       Image.get_linear t.bands.(j) i)
 
 let of_matrix ~nrow ~ncol ptype m =
@@ -37,7 +37,7 @@ let of_matrix ~nrow ~ncol ptype m =
          (Matrix.rows m) nrow ncol);
   { bands =
       Array.init (Matrix.cols m) (fun j ->
-          Image.init ~nrow ~ncol ptype (fun r c ->
+          Image.par_init ~nrow ~ncol ptype (fun r c ->
               Matrix.get m ((r * ncol) + c) j)) }
 
 let map_bands f t =

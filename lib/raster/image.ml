@@ -75,6 +75,63 @@ let mapi ?(label = "") ?ptype f t =
       Array.init (Array.length t.data) (fun i ->
           Pixel.quantize ptype (f (i / t.ncol) (i mod t.ncol) t.data.(i))) }
 
+(* Parallel variants: same results as init/map/map2/mapi at any pool
+   size (disjoint writes, deterministic chunking).  The closure must be
+   pure — it runs concurrently on pool domains. *)
+
+let par_init ?(label = "") ~nrow ~ncol ptype f =
+  check_dims nrow ncol;
+  let n = nrow * ncol in
+  let data = Array.make n 0. in
+  Gaea_par.Pool.parallel_for_ranges ~lo:0 ~hi:n (fun clo chi ->
+      for i = clo to chi - 1 do
+        Array.unsafe_set data i (Pixel.quantize ptype (f (i / ncol) (i mod ncol)))
+      done);
+  { nrow; ncol; ptype; label; data }
+
+let par_map ?(label = "") ?ptype f t =
+  let ptype = Option.value ptype ~default:t.ptype in
+  let n = Array.length t.data in
+  let src = t.data in
+  let data = Array.make n 0. in
+  Gaea_par.Pool.parallel_for_ranges ~lo:0 ~hi:n (fun clo chi ->
+      for i = clo to chi - 1 do
+        Array.unsafe_set data i
+          (Pixel.quantize ptype (f (Array.unsafe_get src i)))
+      done);
+  { nrow = t.nrow; ncol = t.ncol; ptype; label; data }
+
+let par_map2 ?(label = "") ?ptype f a b =
+  if not (img_size_eq a b) then
+    invalid_arg
+      (Printf.sprintf "Image.par_map2: size mismatch %dx%d vs %dx%d" a.nrow
+         a.ncol b.nrow b.ncol);
+  let ptype = Option.value ptype ~default:a.ptype in
+  let n = Array.length a.data in
+  let xs = a.data and ys = b.data in
+  let data = Array.make n 0. in
+  Gaea_par.Pool.parallel_for_ranges ~lo:0 ~hi:n (fun clo chi ->
+      for i = clo to chi - 1 do
+        Array.unsafe_set data i
+          (Pixel.quantize ptype
+             (f (Array.unsafe_get xs i) (Array.unsafe_get ys i)))
+      done);
+  { nrow = a.nrow; ncol = a.ncol; ptype; label; data }
+
+let par_mapi ?(label = "") ?ptype f t =
+  let ptype = Option.value ptype ~default:t.ptype in
+  let n = Array.length t.data in
+  let ncol = t.ncol in
+  let src = t.data in
+  let data = Array.make n 0. in
+  Gaea_par.Pool.parallel_for_ranges ~lo:0 ~hi:n (fun clo chi ->
+      for i = clo to chi - 1 do
+        Array.unsafe_set data i
+          (Pixel.quantize ptype
+             (f (i / ncol) (i mod ncol) (Array.unsafe_get src i)))
+      done);
+  { nrow = t.nrow; ncol = t.ncol; ptype; label; data }
+
 let fold f acc t = Array.fold_left f acc t.data
 let iter f t = Array.iter f t.data
 

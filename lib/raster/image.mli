@@ -46,6 +46,25 @@ val map2 : ?label:string -> ?ptype:Pixel.t -> (float -> float -> float)
 val mapi : ?label:string -> ?ptype:Pixel.t -> (int -> int -> float -> float)
   -> t -> t
 
+(** {2 Parallel pixel maps}
+
+    Same semantics (and bit-identical results, at any pool size) as
+    {!init} / {!map} / {!map2} / {!mapi}, but chunked across the
+    {!Gaea_par.Pool} domains.  The closure runs concurrently on pool
+    domains and must be pure — no hidden RNG or accumulator state. *)
+
+val par_init : ?label:string -> nrow:int -> ncol:int -> Pixel.t
+  -> (int -> int -> float) -> t
+
+val par_map : ?label:string -> ?ptype:Pixel.t -> (float -> float) -> t -> t
+
+val par_map2 : ?label:string -> ?ptype:Pixel.t -> (float -> float -> float)
+  -> t -> t -> t
+(** @raise Invalid_argument if sizes differ. *)
+
+val par_mapi : ?label:string -> ?ptype:Pixel.t
+  -> (int -> int -> float -> float) -> t -> t
+
 val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
 val iter : (float -> unit) -> t -> unit
 

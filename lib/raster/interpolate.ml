@@ -8,7 +8,7 @@ let temporal_linear ~at (t1, img1) (t2, img2) =
   let w =
     float_of_int (Gaea_geo.Abstime.to_seconds at - s1) /. float_of_int (s2 - s1)
   in
-  Image.map2 ~label:"temporal-interp" ~ptype:Pixel.Float8
+  Image.par_map2 ~label:"temporal-interp" ~ptype:Pixel.Float8
     (fun a b -> a +. (w *. (b -. a)))
     img1 img2
 
@@ -21,7 +21,7 @@ let resize_nearest img ~nrow ~ncol =
 
 let resize_bilinear img ~nrow ~ncol =
   let src_r = Image.img_nrow img and src_c = Image.img_ncol img in
-  Image.init ~label:"resize-bilinear" ~nrow ~ncol Pixel.Float8 (fun r c ->
+  Image.par_init ~label:"resize-bilinear" ~nrow ~ncol Pixel.Float8 (fun r c ->
       (* map output pixel center into source coordinates *)
       let fy =
         (float_of_int r +. 0.5) /. float_of_int nrow *. float_of_int src_r

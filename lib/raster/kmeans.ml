@@ -1,3 +1,5 @@
+module Pool = Gaea_par.Pool
+
 type result = {
   labels : Image.t;
   centroids : float array array;
@@ -29,6 +31,10 @@ let assign centroids v =
 (* k-means++ seeding with the module's deterministic RNG *)
 let seed_centroids rng points k =
   let n = Array.length points in
+  if n = 0 then invalid_arg "Kmeans.seed_centroids: empty point set";
+  if k > n then
+    invalid_arg
+      (Printf.sprintf "Kmeans.seed_centroids: k=%d > %d points" k n);
   let centroids = Array.make k points.(0) in
   centroids.(0) <- points.(Rng.int rng n);
   let dists = Array.map (fun p -> sq_dist p centroids.(0)) points in
@@ -59,14 +65,16 @@ let seed_centroids rng points k =
   done;
   Array.map Array.copy centroids
 
-let unsuperclassify ?(seed = 42) ?(max_iter = 100) composite k =
+(* Lloyd iterations, parallel over pixels.  The assignment step writes
+   disjoint label cells; the update step accumulates per-chunk partial
+   (sum, count) pairs combined in chunk order, so the result is
+   bit-identical at any pool size. *)
+let run ~seed ~max_iter composite k =
   let n = Composite.n_pixels composite in
-  if k < 1 then invalid_arg "Kmeans.unsuperclassify: k < 1";
-  if k > n then
-    invalid_arg
-      (Printf.sprintf "Kmeans.unsuperclassify: k=%d > %d pixels" k n);
   let dims = Composite.n_bands composite in
-  let points = Array.init n (Composite.pixel_vector composite) in
+  let points = Array.make n [||] in
+  Pool.parallel_for ~lo:0 ~hi:n (fun i ->
+      points.(i) <- Composite.pixel_vector composite i);
   let rng = Rng.create seed in
   let centroids = ref (seed_centroids rng points k) in
   let labels = Array.make n 0 in
@@ -74,28 +82,47 @@ let unsuperclassify ?(seed = 42) ?(max_iter = 100) composite k =
   let changed = ref true in
   while !changed && !iterations < max_iter do
     incr iterations;
-    changed := false;
     (* assignment step *)
-    Array.iteri
-      (fun i p ->
-        let j = assign !centroids p in
-        if j <> labels.(i) then begin
-          labels.(i) <- j;
-          changed := true
-        end)
-      points;
+    let cs = !centroids in
+    changed :=
+      Pool.parallel_for_reduce ~lo:0 ~hi:n ~init:false ~reduce:( || )
+        (fun clo chi ->
+          let any = ref false in
+          for i = clo to chi - 1 do
+            let j = assign cs points.(i) in
+            if j <> labels.(i) then begin
+              labels.(i) <- j;
+              any := true
+            end
+          done;
+          !any);
     (* update step; empty clusters keep their previous centroid *)
     if !changed then begin
+      let partials =
+        Pool.map_chunks ~lo:0 ~hi:n (fun clo chi ->
+            let sums = Array.init k (fun _ -> Array.make dims 0.) in
+            let counts = Array.make k 0 in
+            for i = clo to chi - 1 do
+              let j = labels.(i) in
+              counts.(j) <- counts.(j) + 1;
+              let p = points.(i) and s = sums.(j) in
+              for d = 0 to dims - 1 do
+                s.(d) <- s.(d) +. p.(d)
+              done
+            done;
+            (sums, counts))
+      in
       let sums = Array.init k (fun _ -> Array.make dims 0.) in
       let counts = Array.make k 0 in
-      Array.iteri
-        (fun i p ->
-          let j = labels.(i) in
-          counts.(j) <- counts.(j) + 1;
-          for d = 0 to dims - 1 do
-            sums.(j).(d) <- sums.(j).(d) +. p.(d)
+      Array.iter
+        (fun (ps, pc) ->
+          for j = 0 to k - 1 do
+            counts.(j) <- counts.(j) + pc.(j);
+            for d = 0 to dims - 1 do
+              sums.(j).(d) <- sums.(j).(d) +. ps.(j).(d)
+            done
           done)
-        points;
+        partials;
       centroids :=
         Array.mapi
           (fun j s ->
@@ -111,20 +138,43 @@ let unsuperclassify ?(seed = 42) ?(max_iter = 100) composite k =
   let rank = Array.make k 0 in
   Array.iteri (fun r j -> rank.(j) <- r) order;
   let final_centroids = Array.map (fun j -> !centroids.(j)) order in
+  let cs = !centroids in
   let inertia =
-    Array.to_seq points
-    |> Seq.mapi (fun i p -> sq_dist p !centroids.(labels.(i)))
-    |> Seq.fold_left ( +. ) 0.
+    Pool.parallel_for_reduce ~lo:0 ~hi:n ~init:0. ~reduce:( +. )
+      (fun clo chi ->
+        let acc = ref 0. in
+        for i = clo to chi - 1 do
+          acc := !acc +. sq_dist points.(i) cs.(labels.(i))
+        done;
+        !acc)
   in
   let nrow = Composite.nrow composite and ncol = Composite.ncol composite in
   let label_img =
-    Image.init ~label:"unsuperclassify" ~nrow ~ncol Pixel.Int4 (fun r c ->
+    Image.par_init ~label:"unsuperclassify" ~nrow ~ncol Pixel.Int4 (fun r c ->
         float_of_int rank.(labels.((r * ncol) + c)))
   in
   { labels = label_img;
     centroids = final_centroids;
     iterations = !iterations;
     inertia }
+
+let unsuperclassify_result ?(seed = 42) ?(max_iter = 100) composite k =
+  let n = Composite.n_pixels composite in
+  if k < 1 then Error (Printf.sprintf "Kmeans: k=%d < 1" k)
+  else if n = 0 then Error "Kmeans: composite has no pixels"
+  else begin
+    (* more clusters than pixels degenerates to one cluster per pixel *)
+    let k = Stdlib.min k n in
+    Ok (run ~seed ~max_iter composite k)
+  end
+
+let unsuperclassify ?(seed = 42) ?(max_iter = 100) composite k =
+  let n = Composite.n_pixels composite in
+  if k < 1 then invalid_arg "Kmeans.unsuperclassify: k < 1";
+  if k > n then
+    invalid_arg
+      (Printf.sprintf "Kmeans.unsuperclassify: k=%d > %d pixels" k n);
+  run ~seed ~max_iter composite k
 
 let classify_image ?seed ?max_iter img k =
   unsuperclassify ?seed ?max_iter (Composite.of_bands [ img ]) k

@@ -1,3 +1,5 @@
+module Pool = Gaea_par.Pool
+
 type t = { rows : int; cols : int; data : float array }
 
 let check_dims rows cols =
@@ -12,6 +14,18 @@ let init ~rows ~cols f =
   check_dims rows cols;
   { rows; cols;
     data = Array.init (rows * cols) (fun i -> f (i / cols) (i mod cols)) }
+
+(* Parallel [init]: the closure must be pure (it runs concurrently on
+   pool domains); element layout and values match [init] exactly. *)
+let par_init ~rows ~cols f =
+  check_dims rows cols;
+  let n = rows * cols in
+  let data = Array.make n 0. in
+  Pool.parallel_for_ranges ~lo:0 ~hi:n (fun clo chi ->
+      for i = clo to chi - 1 do
+        Array.unsafe_set data i (f (i / cols) (i mod cols))
+      done);
+  { rows; cols; data }
 
 let identity n = init ~rows:n ~cols:n (fun i j -> if i = j then 1. else 0.)
 
@@ -75,16 +89,21 @@ let mul a b =
     invalid_arg
       (Printf.sprintf "Matrix.mul: %dx%d * %dx%d" a.rows a.cols b.rows b.cols);
   let out = create ~rows:a.rows ~cols:b.cols in
-  for i = 0 to a.rows - 1 do
-    for k = 0 to a.cols - 1 do
-      let aik = a.data.((i * a.cols) + k) in
-      if aik <> 0. then
-        for j = 0 to b.cols - 1 do
-          out.data.((i * b.cols) + j) <-
-            out.data.((i * b.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
+  (* parallel over output rows (disjoint writes, per-element order
+     unchanged); grain sized so a chunk is ~64k multiply-adds *)
+  let grain = Stdlib.max 1 (65536 / Stdlib.max 1 (a.cols * b.cols)) in
+  Pool.parallel_for_ranges ~grain ~lo:0 ~hi:a.rows (fun rlo rhi ->
+      for i = rlo to rhi - 1 do
+        for k = 0 to a.cols - 1 do
+          let aik = a.data.((i * a.cols) + k) in
+          if aik <> 0. then
+            for j = 0 to b.cols - 1 do
+              out.data.((i * b.cols) + j) <-
+                out.data.((i * b.cols) + j)
+                +. (aik *. b.data.((k * b.cols) + j))
+            done
         done
-    done
-  done;
+      done);
   out
 
 let mul_vec t v =
@@ -141,12 +160,44 @@ let column_means t =
 
 let center_columns t =
   let means = column_means t in
-  (init ~rows:t.rows ~cols:t.cols (fun i j -> get t i j -. means.(j)), means)
+  (par_init ~rows:t.rows ~cols:t.cols (fun i j -> get t i j -. means.(j)),
+   means)
 
 let covariance t =
   if t.rows < 2 then invalid_arg "Matrix.covariance: needs >= 2 observations";
-  let centered, _ = center_columns t in
-  scale (1. /. float_of_int (t.rows - 1)) (mul (transpose centered) centered)
+  (* accumulate (x_i - mean_i)(x_j - mean_j) over observation chunks;
+     partials combine in chunk order, so any pool size associates the
+     float sums identically *)
+  let means = column_means t in
+  let k = t.cols in
+  let data = t.data in
+  let partial lo hi =
+    let acc = Array.make (k * k) 0. in
+    for r = lo to hi - 1 do
+      let base = r * k in
+      for i = 0 to k - 1 do
+        let di = Array.unsafe_get data (base + i) -. means.(i) in
+        if di <> 0. then
+          for j = 0 to k - 1 do
+            acc.((i * k) + j) <-
+              acc.((i * k) + j)
+              +. (di *. (Array.unsafe_get data (base + j) -. means.(j)))
+          done
+      done
+    done;
+    acc
+  in
+  let total =
+    Pool.parallel_for_reduce ~lo:0 ~hi:t.rows ~init:(Array.make (k * k) 0.)
+      ~reduce:(fun a b ->
+        for i = 0 to (k * k) - 1 do
+          a.(i) <- a.(i) +. b.(i)
+        done;
+        a)
+      partial
+  in
+  let s = 1. /. float_of_int (t.rows - 1) in
+  { rows = k; cols = k; data = Array.map (fun v -> s *. v) total }
 
 let correlation t =
   let cov = covariance t in

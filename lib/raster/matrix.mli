@@ -7,6 +7,13 @@ val create : rows:int -> cols:int -> t
 (** Zero matrix.  @raise Invalid_argument on non-positive dims. *)
 
 val init : rows:int -> cols:int -> (int -> int -> float) -> t
+(** [init ~rows ~cols f] fills element (i,j) with [f i j]. *)
+
+val par_init : rows:int -> cols:int -> (int -> int -> float) -> t
+(** Like {!init} but filled in parallel across the {!Gaea_par.Pool}
+    domains; the closure must be pure.  Identical results at any pool
+    size. *)
+
 val identity : int -> t
 val of_rows : float array array -> t
 (** @raise Invalid_argument on ragged or empty input. *)

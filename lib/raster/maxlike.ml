@@ -129,7 +129,8 @@ let classify model composite =
    | [] -> invalid_arg "Maxlike.classify: empty model"
    | _ -> ());
   let nrow = Composite.nrow composite and ncol = Composite.ncol composite in
-  Image.init ~label:"maxlike" ~nrow ~ncol Pixel.Int4 (fun r c ->
+  (* per-pixel argmax is independent: parallel across the pool *)
+  Image.par_init ~label:"maxlike" ~nrow ~ncol Pixel.Int4 (fun r c ->
       let v = Composite.pixel_vector composite ((r * ncol) + c) in
       let best, _ =
         List.fold_left

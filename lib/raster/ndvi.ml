@@ -1,5 +1,5 @@
 let ndvi ?(label = "ndvi") ~red ~nir () =
-  Image.map2 ~label ~ptype:Pixel.Float8
+  Image.par_map2 ~label ~ptype:Pixel.Float8
     (fun r n ->
       let d = n +. r in
       if d = 0. then 0. else (n -. r) /. d)

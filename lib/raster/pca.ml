@@ -31,7 +31,7 @@ let run ~standardize ?components composite =
       let cov = compute_covariance obs in
       let sd = Array.init n_bands (fun i -> sqrt (Matrix.get cov i i)) in
       let std =
-        Matrix.init ~rows:(Matrix.rows centered) ~cols:n_bands (fun i j ->
+        Matrix.par_init ~rows:(Matrix.rows centered) ~cols:n_bands (fun i j ->
             if sd.(j) = 0. then 0. else Matrix.get centered i j /. sd.(j))
       in
       (std, compute_correlation obs)

@@ -250,6 +250,88 @@ let test_kernel_recompute () =
        pairs)
 
 (* ------------------------------------------------------------------ *)
+(* Derived-object result cache                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_hit_and_counters () =
+  let k = simple_kernel () in
+  let oid = insert_src k 1 2.0 in
+  let proc = Option.get (Kernel.find_process k "negate") in
+  let t1 = ok (Kernel.execute_process k proc ~inputs:[ ("x", [ oid ]) ]) in
+  let t2 = ok (Kernel.execute_process k proc ~inputs:[ ("x", [ oid ]) ]) in
+  check_int "same task returned" t1.Task.task_id t2.Task.task_id;
+  check_int "executed once" 1 (Kernel.counters k).Kernel.executions;
+  check_int "one hit" 1 (Kernel.counters k).Kernel.cache_hits;
+  check_int "one miss" 1 (Kernel.counters k).Kernel.cache_misses;
+  check_int "no duplicate output object" 1 (Kernel.count_objects k "out");
+  check_int "one live entry" 1 (Kernel.cache_stats k).Kernel.entries;
+  (* a different input binding is a different key *)
+  let oid2 = insert_src k 2 5.0 in
+  let t3 = ok (Kernel.execute_process k proc ~inputs:[ ("x", [ oid2 ]) ]) in
+  check_bool "distinct task for distinct input" true
+    (t3.Task.task_id <> t1.Task.task_id);
+  check_int "second miss" 2 (Kernel.counters k).Kernel.cache_misses;
+  (* clear_cache forgets everything *)
+  Kernel.clear_cache k;
+  check_int "cleared" 0 (Kernel.cache_stats k).Kernel.entries;
+  let t4 = ok (Kernel.execute_process k proc ~inputs:[ ("x", [ oid ]) ]) in
+  check_bool "recomputes after clear" true (t4.Task.task_id <> t1.Task.task_id)
+
+let test_cache_invalidated_by_new_version () =
+  let k = simple_kernel () in
+  let oid = insert_src k 1 2.0 in
+  let v1 = Option.get (Kernel.find_process k "negate") in
+  let t1 = ok (Kernel.execute_process k v1 ~inputs:[ ("x", [ oid ]) ]) in
+  (* registering a new version drops the old version's entries too: the
+     process was edited, so its memoized derivations are suspect *)
+  let v2 = ok (Process.edit v1 ~name:"negate" ~doc:"sharpened" ()) in
+  ok (Kernel.define_process k v2);
+  check_int "entry dropped" 0 (Kernel.cache_stats k).Kernel.entries;
+  check_bool "invalidation counted" true
+    ((Kernel.cache_stats k).Kernel.invalidations >= 1);
+  let t1' = ok (Kernel.execute_process k v1 ~inputs:[ ("x", [ oid ]) ]) in
+  check_bool "recomputed as a fresh task" true
+    (t1'.Task.task_id <> t1.Task.task_id);
+  check_int "two executions" 2 (Kernel.counters k).Kernel.executions
+
+let test_cache_invalidated_by_delete () =
+  let k = simple_kernel () in
+  let oid = insert_src k 1 2.0 in
+  let proc = Option.get (Kernel.find_process k "negate") in
+  let t1 = ok (Kernel.execute_process k proc ~inputs:[ ("x", [ oid ]) ]) in
+  let out = List.hd t1.Task.outputs in
+  check_bool "output deleted" true (Kernel.delete_object k ~cls:"out" out);
+  let t2 = ok (Kernel.execute_process k proc ~inputs:[ ("x", [ oid ]) ]) in
+  check_bool "recomputed after output deletion" true
+    (t2.Task.task_id <> t1.Task.task_id);
+  check_int "object rematerialized" 1 (Kernel.count_objects k "out");
+  (* deleting an input drops the entry that read it *)
+  check_int "one live entry" 1 (Kernel.cache_stats k).Kernel.entries;
+  check_bool "input deleted" true (Kernel.delete_object k ~cls:"src" oid);
+  check_int "entry dropped with its input" 0
+    (Kernel.cache_stats k).Kernel.entries
+
+let test_cache_fig3_repeated_derive () =
+  let k = Kernel.create () in
+  ok (Figures.install_fig3 k);
+  let _ = ok (Figures.load_tm_bands k ~seed:7 ~nrow:16 ~ncol:16 ()) in
+  let p = Option.get (Kernel.find_process k Figures.p20_name) in
+  let binding =
+    ok
+      (Kernel.find_binding k p
+         ~available:
+           [ ( Figures.landsat_class,
+               Kernel.objects_of_class k Figures.landsat_class ) ])
+  in
+  let t1 = ok (Kernel.execute_process k p ~inputs:binding) in
+  let t2 = ok (Kernel.execute_process k p ~inputs:binding) in
+  check_int "second DERIVE served from cache" t1.Task.task_id t2.Task.task_id;
+  check_int "classified once" 1 (Kernel.counters k).Kernel.executions;
+  check_bool "hit recorded" true ((Kernel.counters k).Kernel.cache_hits > 0);
+  check_int "one land_cover object" 1
+    (Kernel.count_objects k Figures.land_cover_class)
+
+(* ------------------------------------------------------------------ *)
 (* Process versioning                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -795,6 +877,11 @@ let () =
           tc "execute process" test_kernel_execute_process;
           tc "execute validation" test_kernel_execute_validation;
           tc "recompute" test_kernel_recompute ] );
+      ( "cache",
+        [ tc "hit + counters" test_cache_hit_and_counters;
+          tc "new version invalidates" test_cache_invalidated_by_new_version;
+          tc "delete invalidates" test_cache_invalidated_by_delete;
+          tc "fig3 repeated derive" test_cache_fig3_repeated_derive ] );
       ( "process",
         [ tc "edit versioning" test_process_edit_versioning;
           tc "validation" test_process_validation ] );

@@ -1,0 +1,191 @@
+(* Tests for the domain pool (lib/par) and for the parity invariant the
+   parallel raster kernels rely on: chunk layout depends only on
+   (lo, hi, grain), reductions combine in ascending chunk order, so a
+   kernel produces bit-identical results at any pool size. *)
+
+open Gaea_raster
+module Pool = Gaea_par.Pool
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let tc name f = Alcotest.test_case name `Quick f
+
+(* run [f] with the pool forced to [n] lanes, restoring the default *)
+let with_size n f =
+  let saved = Pool.size () in
+  Pool.set_size n;
+  Fun.protect ~finally:(fun () -> Pool.set_size saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Pool primitives                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_for_covers () =
+  with_size 4 (fun () ->
+      let n = 100_000 in
+      let a = Array.make n 0 in
+      Pool.parallel_for ~lo:0 ~hi:n (fun i -> a.(i) <- (i * 2) + 1);
+      let all = ref true in
+      Array.iteri (fun i v -> if v <> (i * 2) + 1 then all := false) a;
+      check_bool "every index written once" true !all)
+
+let test_parallel_for_ranges_partition () =
+  with_size 4 (fun () ->
+      let n = 50_000 in
+      let a = Array.make n 0 in
+      Pool.parallel_for_ranges ~grain:1000 ~lo:0 ~hi:n (fun lo hi ->
+          for i = lo to hi - 1 do
+            a.(i) <- a.(i) + 1
+          done);
+      check_bool "ranges partition the interval" true
+        (Array.for_all (( = ) 1) a))
+
+let test_map_chunks_layout_independent_of_size () =
+  let layout lanes =
+    with_size lanes (fun () ->
+        Pool.map_chunks ~grain:1000 ~lo:0 ~hi:10_500 (fun lo hi -> (lo, hi)))
+  in
+  let l1 = layout 1 and l4 = layout 4 in
+  Alcotest.(check (array (pair int int))) "same chunks at any size" l1 l4;
+  check_int "ceil(10500/1000) chunks" 11 (Array.length l4);
+  let contiguous = ref true in
+  Array.iteri
+    (fun i (lo, hi) ->
+      if lo <> i * 1000 then contiguous := false;
+      if hi <> Stdlib.min 10_500 ((i + 1) * 1000) then contiguous := false)
+    l4;
+  check_bool "chunks contiguous and grain-aligned" true !contiguous
+
+let test_reduce_combines_in_chunk_order () =
+  (* list append is not commutative: any out-of-order combine shows up *)
+  let run lanes =
+    with_size lanes (fun () ->
+        Pool.parallel_for_reduce ~grain:10 ~lo:0 ~hi:100 ~init:[]
+          ~reduce:( @ )
+          (fun lo _hi -> [ lo ]))
+  in
+  Alcotest.(check (list int)) "ascending chunk order"
+    [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90 ]
+    (run 4);
+  Alcotest.(check (list int)) "same at size 1" (run 1) (run 4)
+
+let test_reduce_sum () =
+  with_size 4 (fun () ->
+      let n = 123_457 in
+      let total =
+        Pool.parallel_for_reduce ~lo:0 ~hi:n ~init:0 ~reduce:( + )
+          (fun lo hi ->
+            let acc = ref 0 in
+            for i = lo to hi - 1 do
+              acc := !acc + i
+            done;
+            !acc)
+      in
+      check_int "gauss sum" (n * (n - 1) / 2) total)
+
+let test_exception_propagates () =
+  with_size 4 (fun () ->
+      let raised =
+        try
+          Pool.parallel_for ~grain:10 ~lo:0 ~hi:1000 (fun i ->
+              if i = 777 then failwith "boom");
+          false
+        with Failure m -> m = "boom"
+      in
+      check_bool "body exception re-raised to caller" true raised)
+
+let test_nested_region_falls_back () =
+  (* a parallel body issuing another parallel call must not deadlock:
+     the inner call detects the region and runs sequentially *)
+  with_size 4 (fun () ->
+      let a = Array.make 10_000 0 in
+      Pool.parallel_for_ranges ~grain:10 ~lo:0 ~hi:200 (fun lo hi ->
+          for i = lo to hi - 1 do
+            Pool.parallel_for ~grain:1 ~lo:0 ~hi:50 (fun j ->
+                a.((i * 50) + j) <- 1)
+          done);
+      check_bool "nested body completed" true (Array.for_all (( = ) 1) a))
+
+let test_set_size_clamps () =
+  with_size 1 (fun () ->
+      Pool.set_size 99;
+      check_int "clamped to max_size" Pool.max_size (Pool.size ());
+      Pool.set_size 0;
+      check_int "clamped to 1" 1 (Pool.size ()))
+
+(* ------------------------------------------------------------------ *)
+(* Parity: kernels are bit-identical at pool size 1 and size 4.        *)
+(* 72x72 = 5184 pixels > default grain, so size 4 really runs the      *)
+(* multi-chunk path.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let scene = lazy (Synthetic.landsat_scene ~seed:5 ~nrow:72 ~ncol:72 ())
+
+let test_parity_kmeans () =
+  let s = Lazy.force scene in
+  let r1 =
+    with_size 1 (fun () -> Kmeans.unsuperclassify ~seed:3 s.Synthetic.composite 6)
+  in
+  let r4 =
+    with_size 4 (fun () -> Kmeans.unsuperclassify ~seed:3 s.Synthetic.composite 6)
+  in
+  check_bool "labels bit-identical" true
+    (Image.equal r1.Kmeans.labels r4.Kmeans.labels);
+  check_bool "centroids bit-identical" true
+    (r1.Kmeans.centroids = r4.Kmeans.centroids);
+  check_bool "inertia bit-identical" true
+    (Float.equal r1.Kmeans.inertia r4.Kmeans.inertia);
+  check_int "same iterations" r1.Kmeans.iterations r4.Kmeans.iterations
+
+let test_parity_maxlike () =
+  let s = Lazy.force scene in
+  let model = Maxlike.train s.Synthetic.composite s.Synthetic.truth in
+  let c1 = with_size 1 (fun () -> Maxlike.classify model s.Synthetic.composite) in
+  let c4 = with_size 4 (fun () -> Maxlike.classify model s.Synthetic.composite) in
+  check_bool "labels bit-identical" true (Image.equal c1 c4)
+
+let test_parity_composite_matrix () =
+  let s = Lazy.force scene in
+  let comp = s.Synthetic.composite in
+  let m1 = with_size 1 (fun () -> Composite.to_matrix comp) in
+  let m4 = with_size 4 (fun () -> Composite.to_matrix comp) in
+  check_bool "to_matrix bit-identical" true (Matrix.equal m1 m4);
+  let back lanes =
+    with_size lanes (fun () ->
+        Composite.of_matrix ~nrow:(Composite.nrow comp)
+          ~ncol:(Composite.ncol comp) Pixel.Float8 m1)
+  in
+  check_bool "of_matrix bit-identical" true
+    (Composite.equal (back 1) (back 4))
+
+let test_parity_ndvi () =
+  let red, nir = Synthetic.red_nir_pair ~seed:8 ~nrow:72 ~ncol:72 () in
+  let n1 = with_size 1 (fun () -> Ndvi.ndvi ~red ~nir ()) in
+  let n4 = with_size 4 (fun () -> Ndvi.ndvi ~red ~nir ()) in
+  check_bool "ndvi bit-identical" true (Image.equal n1 n4)
+
+let test_parity_covariance () =
+  let s = Lazy.force scene in
+  let obs = Composite.to_matrix s.Synthetic.composite in
+  let c1 = with_size 1 (fun () -> Matrix.covariance obs) in
+  let c4 = with_size 4 (fun () -> Matrix.covariance obs) in
+  (* exact, not approx: partial sums combine in chunk order *)
+  check_bool "covariance bit-identical" true (Matrix.equal c1 c4)
+
+let () =
+  Alcotest.run "par"
+    [ ( "pool",
+        [ tc "parallel_for covers" test_parallel_for_covers;
+          tc "ranges partition" test_parallel_for_ranges_partition;
+          tc "chunk layout vs size" test_map_chunks_layout_independent_of_size;
+          tc "reduce order" test_reduce_combines_in_chunk_order;
+          tc "reduce sum" test_reduce_sum;
+          tc "exception propagates" test_exception_propagates;
+          tc "nested fallback" test_nested_region_falls_back;
+          tc "set_size clamps" test_set_size_clamps ] );
+      ( "parity",
+        [ tc "kmeans" test_parity_kmeans;
+          tc "maxlike" test_parity_maxlike;
+          tc "composite<->matrix" test_parity_composite_matrix;
+          tc "ndvi" test_parity_ndvi;
+          tc "covariance" test_parity_covariance ] ) ]

@@ -428,6 +428,28 @@ let test_kmeans_k1 () =
   check_bool "all zero" true
     (Image.fold (fun acc v -> acc && v = 0.) true r.Kmeans.labels)
 
+let test_kmeans_result_degenerate () =
+  let c = separated_composite () in
+  (* non-raising variant: Error on k < 1 ... *)
+  check_bool "k=0 is Error" true
+    (Result.is_error (Kmeans.unsuperclassify_result c 0));
+  check_bool "k<0 is Error" true
+    (Result.is_error (Kmeans.unsuperclassify_result c (-3)));
+  (* ... and k > n clamps to one cluster per pixel instead of raising
+     or silently seeding duplicate centroids *)
+  let tiny =
+    Composite.of_bands
+      [ Image.of_array ~nrow:2 ~ncol:2 Pixel.Float8 [| 1.; 2.; 3.; 4. |] ]
+  in
+  match Kmeans.unsuperclassify_result tiny 10 with
+  | Error e -> Alcotest.failf "expected clamp, got Error %s" e
+  | Ok r ->
+    check_int "clamped to n clusters" 4 (Array.length r.Kmeans.centroids);
+    check_float "perfect fit" 0. r.Kmeans.inertia;
+    let seen = Hashtbl.create 4 in
+    Image.iter (fun v -> Hashtbl.replace seen v ()) r.Kmeans.labels;
+    check_int "each pixel its own cluster" 4 (Hashtbl.length seen)
+
 let test_kmeans_assign () =
   let centroids = [| [| 0. |]; [| 10. |] |] in
   check_int "near 0" 0 (Kmeans.assign centroids [| 2. |]);
@@ -671,6 +693,7 @@ let () =
           tc "inertia vs k" test_kmeans_inertia_decreases_with_k;
           tc "validation" test_kmeans_validation;
           tc "k=1" test_kmeans_k1;
+          tc "degenerate result" test_kmeans_result_degenerate;
           tc "assign" test_kmeans_assign ] );
       ( "maxlike",
         [ tc "recovers truth" test_maxlike_recovers_truth;
