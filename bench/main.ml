@@ -31,7 +31,7 @@ module Task = Gaea_core.Task
 
 let ok = function
   | Ok v -> v
-  | Error e -> failwith ("bench setup: " ^ e)
+  | Error e -> failwith ("bench setup: " ^ Gaea_core.Gaea_error.to_string e)
 
 (* --smoke: one quick pass over every experiment (a CI sanity check, not
    a measurement run) — small sweeps, single repeats, tiny bechamel
@@ -92,7 +92,8 @@ SELECT cutoff FROM desert
       "parsed, planned and executed %d statements (DDL, process DDL, \
        ingest, derivation, retrieval): OK\n"
       (List.length responses)
-  | Error e -> Printf.printf "FAILED: %s\n" e
+  | Error e ->
+    Printf.printf "FAILED: %s\n" (Gaea_core.Gaea_error.to_string e)
 
 let fig2_layers () =
   section "Fig 2 artifact: the three semantic layers";

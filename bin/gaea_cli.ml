@@ -21,7 +21,7 @@ let read_file path =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> Ok (really_input_string ic (in_channel_length ic)))
-  with Sys_error e -> Error e
+  with Sys_error e -> Error (Gaea_core.Gaea_error.Io_error e)
 
 let make_session load =
   match load with
@@ -40,23 +40,37 @@ let run_cmd load save path =
   match
     let* src = read_file path in
     let* session = make_session load in
-    let out = Session.run_string_collect session src in
-    let* () = finish_session session save in
-    Ok out
+    Ok (session, src)
   with
-  | Ok out ->
-    print_endline out;
-    0
   | Error e ->
-    Printf.eprintf "error: %s\n" e;
+    Printf.eprintf "error: %s\n" (Gaea_core.Gaea_error.to_string e);
     1
+  | Ok (session, src) ->
+    (* execute as far as possible, print what ran, then report the
+       failing statement and exit non-zero *)
+    let responses, failed = Session.run_string_partial session src in
+    List.iter
+      (fun r -> print_endline (Gaea_query.Executor.format_response r))
+      responses;
+    let save_status =
+      match finish_session session save with
+      | Ok () -> 0
+      | Error e ->
+        Printf.eprintf "error: %s\n" (Gaea_core.Gaea_error.to_string e);
+        1
+    in
+    (match failed with
+     | None -> save_status
+     | Some e ->
+       Printf.eprintf "error: %s\n" (Gaea_core.Gaea_error.to_string e);
+       1)
 
 let repl_cmd load save =
   let session =
     match make_session load with
     | Ok s -> s
     | Error e ->
-      Printf.eprintf "error: %s\n" e;
+      Printf.eprintf "error: %s\n" (Gaea_core.Gaea_error.to_string e);
       exit 1
   in
   print_endline "Gaea shell — end statements with ';', ctrl-D to quit.";
@@ -78,7 +92,7 @@ let repl_cmd load save =
   (match finish_session session save with
    | Ok () -> 0
    | Error e ->
-     Printf.eprintf "error: %s\n" e;
+     Printf.eprintf "error: %s\n" (Gaea_core.Gaea_error.to_string e);
      1)
 
 let demo_cmd () =
@@ -97,7 +111,7 @@ let demo_cmd () =
     Ok ()
   with
   | Error e ->
-    Printf.eprintf "demo setup failed: %s\n" e;
+    Printf.eprintf "demo setup failed: %s\n" (Gaea_core.Gaea_error.to_string e);
     1
   | Ok () ->
     show "classes"
@@ -107,14 +121,16 @@ let demo_cmd () =
             (Kernel.classes k)));
     (match Derivation.request k Figures.land_cover_class with
      | Error e ->
-       Printf.eprintf "derivation failed: %s\n" e;
+       Printf.eprintf "derivation failed: %s\n"
+         (Gaea_core.Gaea_error.to_string e);
        1
      | Ok outcome ->
        let oid = List.hd outcome.Derivation.objects in
        show "derived land cover (Fig 3 / P20)" (Lineage.explain k oid);
        (match Derivation.request k Figures.land_cover_changes_class with
         | Error e ->
-          Printf.eprintf "land-change derivation failed: %s\n" e;
+          Printf.eprintf "land-change derivation failed: %s\n"
+            (Gaea_core.Gaea_error.to_string e);
           1
         | Ok o2 ->
           let oid2 = List.hd o2.Derivation.objects in
@@ -129,7 +145,7 @@ let net_cmd () =
   let k = Kernel.create () in
   match Figures.install_all k with
   | Error e ->
-    Printf.eprintf "error: %s\n" e;
+    Printf.eprintf "error: %s\n" (Gaea_core.Gaea_error.to_string e);
     1
   | Ok () ->
     let view = Kernel.derivation_net k in

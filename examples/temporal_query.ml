@@ -23,7 +23,7 @@ module Imgstats = Gaea_raster.Imgstats
 let or_die = function
   | Ok v -> v
   | Error e ->
-    prerr_endline ("error: " ^ e);
+    prerr_endline ("error: " ^ Gaea_core.Gaea_error.to_string e);
     exit 1
 
 let mean_of k oid =

@@ -21,7 +21,7 @@ module Vtype = Gaea_adt.Vtype
 let or_die = function
   | Ok v -> v
   | Error e ->
-    prerr_endline ("error: " ^ e);
+    prerr_endline ("error: " ^ Gaea_core.Gaea_error.to_string e);
     exit 1
 
 let () =

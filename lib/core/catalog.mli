@@ -1,0 +1,22 @@
+(** The class catalog: class definitions plus their backing tables.
+
+    Owns the derivation level's {e static} half — every defined
+    {!Schema.t} and the store table that holds its objects.  Emits
+    [Class_defined] on the bus; the derivation-net cache listens. *)
+
+type t
+
+val create : store:Gaea_storage.Store.t -> bus:Events.bus -> t
+
+val define : t -> Schema.t -> (unit, Gaea_error.t) result
+(** Creates the backing table; errors on duplicate class names or a
+    storage failure.  Emits [Class_defined]. *)
+
+val mem : t -> string -> bool
+val find : t -> string -> Schema.t option
+
+val classes : t -> Schema.t list
+(** Sorted by name. *)
+
+val table : t -> string -> Gaea_storage.Table.t option
+(** The backing table, [None] for unknown classes. *)

@@ -19,9 +19,9 @@ let create () =
 let normalize members = List.sort_uniq compare members
 
 let define t ~name ?(doc = "") ?(members = []) () =
-  if name = "" then Error "concept: empty name"
+  if name = "" then Gaea_error.err "concept: empty name"
   else if Hashtbl.mem t.concepts name then
-    Error (Printf.sprintf "concept %s already defined" name)
+    Gaea_error.err (Printf.sprintf "concept %s already defined" name)
   else begin
     let c = { name; members = normalize members; doc } in
     Hashtbl.add t.concepts name c;
@@ -33,7 +33,7 @@ let mem t name = Hashtbl.mem t.concepts name
 
 let add_member t ~concept cls =
   match find t concept with
-  | None -> Error (Printf.sprintf "unknown concept %s" concept)
+  | None -> Gaea_error.err (Printf.sprintf "unknown concept %s" concept)
   | Some c ->
     Hashtbl.replace t.concepts concept
       { c with members = normalize (cls :: c.members) };
@@ -56,14 +56,14 @@ let reachable tbl start =
   Hashtbl.fold (fun k () acc -> k :: acc) visited [] |> List.sort compare
 
 let add_isa t ~sub ~super =
-  if not (mem t sub) then Error (Printf.sprintf "unknown concept %s" sub)
+  if not (mem t sub) then Gaea_error.err (Printf.sprintf "unknown concept %s" sub)
   else if not (mem t super) then
-    Error (Printf.sprintf "unknown concept %s" super)
-  else if sub = super then Error "ISA self-loop"
+    Gaea_error.err (Printf.sprintf "unknown concept %s" super)
+  else if sub = super then Gaea_error.err "ISA self-loop"
   else if List.mem super (edges t.up sub) then
-    Error (Printf.sprintf "%s ISA %s already present" sub super)
+    Gaea_error.err (Printf.sprintf "%s ISA %s already present" sub super)
   else if List.mem sub (reachable t.up super) then
-    Error
+    Gaea_error.err
       (Printf.sprintf "%s ISA %s would create a cycle in the hierarchy" sub
          super)
   else begin

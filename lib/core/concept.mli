@@ -20,14 +20,14 @@ val create : unit -> t
 
 val define :
   t -> name:string -> ?doc:string -> ?members:string list -> unit
-  -> (concept, string) result
+  -> (concept, Gaea_error.t) result
 (** Errors on duplicate concept names. *)
 
-val add_member : t -> concept:string -> string -> (unit, string) result
+val add_member : t -> concept:string -> string -> (unit, Gaea_error.t) result
 (** Map one more class to the concept (expanding the dashed lines of
     Fig 2). *)
 
-val add_isa : t -> sub:string -> super:string -> (unit, string) result
+val add_isa : t -> sub:string -> super:string -> (unit, Gaea_error.t) result
 (** [sub ISA super].  Errors on unknown concepts, self-loops, duplicate
     edges, or edges that would create a cycle (the hierarchy must stay a
     DAG). *)

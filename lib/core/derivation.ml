@@ -84,12 +84,12 @@ let execute_plan k (view : Kernel.net_view) plan =
       let per_place = List.rev per_place in
       (match view.Kernel.process_of_transition step.Backchain.transition with
        | None ->
-         Error
+         Gaea_error.err
            (Printf.sprintf "no process behind transition %d"
               step.Backchain.transition)
        | Some (pname, version) ->
          (match Kernel.find_process k ~version pname with
-          | None -> Error (Printf.sprintf "process %s v%d vanished" pname version)
+          | None -> Gaea_error.err (Printf.sprintf "process %s v%d vanished" pname version)
           | Some proc ->
             let to_classes pairs =
               List.filter_map
@@ -126,7 +126,7 @@ let execute_plan k (view : Kernel.net_view) plan =
              | oid :: _ ->
                realized := (Obj.repr source, oid) :: !realized;
                Ok oid
-             | [] -> Error (pname ^ ": task produced no object"))))
+             | [] -> Gaea_error.err (pname ^ ": task produced no object"))))
   in
   let* objects =
     List.fold_left
@@ -143,7 +143,7 @@ let execute_plan k (view : Kernel.net_view) plan =
 
 let request k ?(need = 1) cls =
   match Kernel.find_class k cls with
-  | None -> Error (Printf.sprintf "unknown class %s" cls)
+  | None -> Gaea_error.err (Printf.sprintf "unknown class %s" cls)
   | Some _ ->
     let stored = Kernel.objects_of_class k cls in
     if List.length stored >= need then begin
@@ -158,14 +158,14 @@ let request k ?(need = 1) cls =
     else begin
       let view = Kernel.derivation_net k in
       match view.Kernel.place_of_class cls with
-      | None -> Error (Printf.sprintf "class %s missing from the net" cls)
+      | None -> Gaea_error.err (Printf.sprintf "class %s missing from the net" cls)
       | Some place ->
         (match
            Backchain.search ~need view.Kernel.net (Kernel.current_marking k)
              place
          with
          | None ->
-           Error
+           Gaea_error.err
              (Printf.sprintf
                 "%s: not derivable from current data (no plan found)" cls)
          | Some plan -> execute_plan k view plan)
@@ -182,23 +182,23 @@ let object_time k ~cls ~tattr oid =
 
 let interpolate_values k ~cls ~at (o1, o2) =
   match Kernel.find_class k cls with
-  | None -> Error (Printf.sprintf "unknown class %s" cls)
+  | None -> Gaea_error.err (Printf.sprintf "unknown class %s" cls)
   | Some def ->
     (match def.Schema.temporal_attr with
-     | None -> Error (cls ^ ": class has no temporal extent")
+     | None -> Gaea_error.err (cls ^ ": class has no temporal extent")
      | Some tattr ->
        let* t1 =
          match object_time k ~cls ~tattr o1 with
          | Some t -> Ok t
-         | None -> Error (Printf.sprintf "object %d has no timestamp" o1)
+         | None -> Gaea_error.err (Printf.sprintf "object %d has no timestamp" o1)
        in
        let* t2 =
          match object_time k ~cls ~tattr o2 with
          | Some t -> Ok t
-         | None -> Error (Printf.sprintf "object %d has no timestamp" o2)
+         | None -> Gaea_error.err (Printf.sprintf "object %d has no timestamp" o2)
        in
        if Abstime.equal t1 t2 then
-         Error "interpolation needs two distinct timestamps"
+         Gaea_error.err "interpolation needs two distinct timestamps"
        else begin
          let w =
            float_of_int (Abstime.diff_seconds at t1)
@@ -221,7 +221,7 @@ let interpolate_values k ~cls ~at (o1, o2) =
                         Value.image
                           (Interpolate.temporal_linear ~at (t1, i1) (t2, i2)) )
                       :: acc)
-                 else Error (name ^ ": image sizes differ")
+                 else Gaea_error.err (name ^ ": image sizes differ")
                | Some (Value.VFloat a), Some (Value.VFloat b) ->
                  Ok ((name, Value.float (a +. (w *. (b -. a)))) :: acc)
                | Some v, Some _ ->
@@ -232,7 +232,7 @@ let interpolate_values k ~cls ~at (o1, o2) =
                  in
                  Ok ((name, v) :: acc)
                | _ ->
-                 Error (Printf.sprintf "object missing attribute %s" name)
+                 Gaea_error.err (Printf.sprintf "object missing attribute %s" name)
              end)
            (Ok []) def.Schema.attributes
          |> Result.map List.rev
@@ -282,7 +282,7 @@ let try_interpolate k ~cls ~tattr ~at =
     |> List.sort (fun (_, a) (_, b) -> Abstime.compare a b)
   in
   match find_bracket snapshots at with
-  | None -> Error (cls ^ ": not enough snapshots to interpolate");
+  | None -> Gaea_error.err (cls ^ ": not enough snapshots to interpolate");
   | Some ((o1, _), (o2, _)) ->
     let* pairs = interpolate_values k ~cls ~at (o1, o2) in
     let* oid = Kernel.insert_object k ~cls pairs in
@@ -301,10 +301,10 @@ let try_interpolate k ~cls ~tattr ~at =
 
 let request_at k ?(priority = `Interpolate_first) ~cls ~at () =
   match Kernel.find_class k cls with
-  | None -> Error (Printf.sprintf "unknown class %s" cls)
+  | None -> Gaea_error.err (Printf.sprintf "unknown class %s" cls)
   | Some def ->
     (match def.Schema.temporal_attr with
-     | None -> Error (cls ^ ": class has no temporal extent")
+     | None -> Gaea_error.err (cls ^ ": class has no temporal extent")
      | Some tattr ->
        (* step 1: direct retrieval at the requested time *)
        let hits =
@@ -360,7 +360,7 @@ let request_at k ?(priority = `Interpolate_first) ~cls ~at () =
                | Ok _ as ok -> ok
                | Error e -> try_all e rest)
           in
-          try_all "no strategy applicable" strategies))
+          try_all (Gaea_error.Invalid "no strategy applicable") strategies))
 
 let recompute k (task : Task.t) =
   if
@@ -370,17 +370,17 @@ let recompute k (task : Task.t) =
     let* at =
       match List.assoc_opt "at" task.Task.params with
       | Some (Value.VAbstime t) -> Ok t
-      | _ -> Error "interpolation task without 'at' parameter"
+      | _ -> Gaea_error.err "interpolation task without 'at' parameter"
     in
     let* o1 =
       match List.assoc_opt "a" task.Task.inputs with
       | Some [ o ] -> Ok o
-      | _ -> Error "interpolation task without input a"
+      | _ -> Gaea_error.err "interpolation task without input a"
     in
     let* o2 =
       match List.assoc_opt "b" task.Task.inputs with
       | Some [ o ] -> Ok o
-      | _ -> Error "interpolation task without input b"
+      | _ -> Gaea_error.err "interpolation task without input b"
     in
     interpolate_values k ~cls:task.Task.output_class ~at (o1, o2)
   end

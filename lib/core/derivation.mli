@@ -20,7 +20,7 @@ type outcome = {
 }
 
 val request :
-  Kernel.t -> ?need:int -> string -> (outcome, string) result
+  Kernel.t -> ?need:int -> string -> (outcome, Gaea_error.t) result
 (** [request k cls] delivers [need] (default 1) objects of class [cls]:
     stored objects first, derivation through backward chaining on the
     net otherwise.  Fails when the class is underivable from current
@@ -37,7 +37,7 @@ type priority = [ `Interpolate_first | `Derive_first ]
 
 val request_at :
   Kernel.t -> ?priority:priority -> cls:string -> at:Gaea_geo.Abstime.t
-  -> unit -> (outcome, string) result
+  -> unit -> (outcome, Gaea_error.t) result
 (** Temporal point query: an object of [cls] whose timestamp equals [at]
     (to the day).  Missing data trigger, in the order given by
     [priority] (default [`Interpolate_first], the paper's step order):
@@ -47,7 +47,7 @@ val request_at :
 val interpolate_values :
   Kernel.t -> cls:string -> at:Gaea_geo.Abstime.t
   -> Gaea_storage.Oid.t * Gaea_storage.Oid.t
-  -> ((string * Gaea_adt.Value.t) list, string) result
+  -> ((string * Gaea_adt.Value.t) list, Gaea_error.t) result
 (** The generic interpolation process (paper: "a generic derivation
     process which is applicable to many data types"): image attributes
     interpolate per pixel, float attributes linearly, everything else is
@@ -59,5 +59,5 @@ val interpolation_process_name : string
     version 0). *)
 
 val recompute :
-  Kernel.t -> Task.t -> ((string * Gaea_adt.Value.t) list, string) result
+  Kernel.t -> Task.t -> ((string * Gaea_adt.Value.t) list, Gaea_error.t) result
 (** {!Kernel.recompute_task} extended to interpolation tasks. *)

@@ -1,0 +1,447 @@
+module Value = Gaea_adt.Value
+module Registry = Gaea_adt.Registry
+module Operator = Gaea_adt.Operator
+module Oid = Gaea_storage.Oid
+
+let ( let* ) r f = Result.bind r f
+
+(* Provenance key of a derived result: the process identity, the exact
+   input binding (argument order preserved — templates index into it),
+   and the parameter bindings by content hash. *)
+type cache_key =
+  string * int * (string * Oid.t list) list * (string * int) list
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  invalidations : int;
+}
+
+type t = {
+  registry : Registry.t;
+  catalog : Catalog.t;
+  objects : Obj_store.t;
+  procs : Proc_registry.t;
+  prov : Provenance.t;
+  metrics : Metrics.t;
+  bus : Events.bus;
+  result_cache : (cache_key, Task.t) Hashtbl.t;
+  mutable invalidations : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Result cache                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cache_key_of (p : Process.t) inputs : cache_key =
+  ( p.Process.proc_name,
+    p.Process.version,
+    List.sort (fun (a, _) (b, _) -> String.compare a b) inputs,
+    List.map (fun (n, v) -> (n, Value.content_hash v)) p.Process.params
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b) )
+
+let cache_stats t =
+  { hits = t.metrics.Metrics.cache_hits;
+    misses = t.metrics.Metrics.cache_misses;
+    entries = Hashtbl.length t.result_cache;
+    invalidations = t.invalidations }
+
+let drop t ~reason n =
+  if n > 0 then begin
+    t.invalidations <- t.invalidations + n;
+    Events.emit t.bus (Events.Cache_invalidated { entries = n; reason })
+  end
+
+let clear_cache t =
+  let n = Hashtbl.length t.result_cache in
+  Hashtbl.reset t.result_cache;
+  drop t ~reason:"clear" n
+
+let invalidate_entries t ~reason pred =
+  let doomed =
+    Hashtbl.fold
+      (fun key task acc -> if pred key task then key :: acc else acc)
+      t.result_cache []
+  in
+  List.iter (Hashtbl.remove t.result_cache) doomed;
+  drop t ~reason (List.length doomed)
+
+(* Names whose (latest) definitions reach [name] through compound
+   steps: editing a sub-process stales every cached compound above it. *)
+let dependent_processes t name =
+  let reaches acc p =
+    List.exists (fun s -> List.mem s.Process.step_process acc) (Process.steps p)
+  in
+  let rec grow acc =
+    let next =
+      Proc_registry.fold_names t.procs ~init:acc ~f:(fun acc' pname versions ->
+          if List.mem pname acc' then acc'
+          else if List.exists (reaches acc') versions then pname :: acc'
+          else acc')
+    in
+    if List.length next = List.length acc then acc else grow next
+  in
+  grow [ name ]
+
+let invalidate_process t name =
+  let stale = dependent_processes t name in
+  invalidate_entries t ~reason:("process " ^ name)
+    (fun (pname, _, _, _) _ -> List.mem pname stale)
+
+let invalidate_oid t oid =
+  invalidate_entries t ~reason:(Printf.sprintf "object #%d" oid)
+    (fun (_, _, inputs, _) task ->
+      List.mem oid task.Task.outputs
+      || List.exists (fun (_, oids) -> List.mem oid oids) inputs)
+
+let invalidate_class t cls =
+  invalidate_entries t ~reason:("class " ^ cls)
+    (fun (_, _, inputs, _) task ->
+      task.Task.output_class = cls
+      || List.exists
+           (fun (_, oids) ->
+             List.exists
+               (fun o -> Obj_store.class_of t.objects o = Some cls)
+               oids)
+           inputs)
+
+let create ~registry ~catalog ~objects ~procs ~prov ~metrics ~bus =
+  let t =
+    { registry; catalog; objects; procs; prov; metrics; bus;
+      result_cache = Hashtbl.create 64; invalidations = 0 }
+  in
+  (* staleness is event-driven: deletions, re-versions and class
+     mutations arrive on the bus rather than as hand-threaded calls *)
+  Events.subscribe bus ~name:"result-cache" (function
+    | Events.Object_deleted { oid; _ } -> invalidate_oid t oid
+    | Events.Process_versioned { name; _ } -> invalidate_process t name
+    | Events.Class_mutated cls -> invalidate_class t cls
+    | _ -> ());
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Template environment                                                *)
+(* ------------------------------------------------------------------ *)
+
+let make_env t (p : Process.t) (inputs : (string * Oid.t list) list) =
+  let arg_class name =
+    Option.map (fun a -> a.Process.arg_class) (Process.arg p name)
+  in
+  { Template.arg_objects =
+      (fun name ->
+        Option.map
+          (fun oids -> List.map (fun o -> Value.int o) oids)
+          (List.assoc_opt name inputs));
+    attr_value =
+      (fun name i attr ->
+        match List.assoc_opt name inputs, arg_class name with
+        | Some oids, Some cls when i >= 0 && i < List.length oids ->
+          let oid = List.nth oids i in
+          (match Obj_store.attr t.objects ~cls oid attr with
+           | Some v -> Ok v
+           | None ->
+             Gaea_error.err
+               (Printf.sprintf "object %d of class %s has no attribute %s" oid
+                  cls attr))
+        | _ ->
+          Gaea_error.err
+            (Printf.sprintf "bad argument reference %s[%d]" name i));
+    spatial_attr =
+      (fun name ->
+        Option.bind (arg_class name) (fun cls ->
+            Option.bind (Catalog.find t.catalog cls) (fun def ->
+                def.Schema.spatial_attr)));
+    temporal_attr =
+      (fun name ->
+        Option.bind (arg_class name) (fun cls ->
+            Option.bind (Catalog.find t.catalog cls) (fun def ->
+                def.Schema.temporal_attr)));
+    param = (fun name -> Process.param p name);
+    apply =
+      (fun op args ->
+        match Registry.apply t.registry op args with
+        | Ok v -> Ok v
+        | Error e -> Error (Gaea_error.Eval_error e));
+    arity =
+      (fun op ->
+        Option.map
+          (fun o ->
+            match (Operator.signature o).Operator.variadic with
+            | Some _ -> `Variadic
+            | None -> `Fixed (List.length (Operator.signature o).Operator.params))
+          (Registry.find_operator t.registry op)) }
+
+let check_cards (p : Process.t) inputs =
+  List.fold_left
+    (fun acc spec ->
+      let* () = acc in
+      match List.assoc_opt spec.Process.arg_name inputs with
+      | None ->
+        Error
+          (Gaea_error.Arity_mismatch
+             (Printf.sprintf "%s: argument %s not bound" p.Process.proc_name
+                spec.Process.arg_name))
+      | Some oids ->
+        let n = List.length oids in
+        if n < spec.Process.card_min then
+          Error
+            (Gaea_error.Arity_mismatch
+               (Printf.sprintf "%s: %s needs at least %d object(s), got %d"
+                  p.Process.proc_name spec.Process.arg_name
+                  spec.Process.card_min n))
+        else (
+          match spec.Process.card_max with
+          | Some m when n > m ->
+            Error
+              (Gaea_error.Arity_mismatch
+                 (Printf.sprintf "%s: %s takes at most %d object(s), got %d"
+                    p.Process.proc_name spec.Process.arg_name m n))
+          | _ -> Ok ()))
+    (Ok ()) p.Process.args
+
+let check_inputs t (p : Process.t) inputs =
+  let* () = check_cards p inputs in
+  match Process.template p with
+  | None -> Ok ()
+  | Some tmpl ->
+    let env = make_env t p inputs in
+    Template.check_assertions env tmpl
+
+(* ------------------------------------------------------------------ *)
+(* Binding search                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* subsets of size k, capped *)
+let rec subsets_k cap k = function
+  | _ when k = 0 -> [ [] ]
+  | [] -> []
+  | x :: rest ->
+    let with_x = List.map (fun s -> x :: s) (subsets_k cap (k - 1) rest) in
+    let without = if List.length with_x >= cap then [] else subsets_k cap k rest in
+    let all = with_x @ without in
+    if List.length all > cap then List.filteri (fun i _ -> i < cap) all
+    else all
+
+let binding_equal b1 b2 =
+  List.length b1 = List.length b2
+  && List.for_all
+       (fun (arg, oids) ->
+         match List.assoc_opt arg b2 with
+         | Some oids2 ->
+           List.sort Int.compare oids = List.sort Int.compare oids2
+         | None -> false)
+       b1
+
+let find_binding t ?(exclude = []) (p : Process.t) ~available =
+  (* group argument specs by class, preserving declaration order *)
+  let by_class = Hashtbl.create 8 in
+  List.iter
+    (fun spec ->
+      let cur =
+        Option.value ~default:[]
+          (Hashtbl.find_opt by_class spec.Process.arg_class)
+      in
+      Hashtbl.replace by_class spec.Process.arg_class (cur @ [ spec ]))
+    p.Process.args;
+  (* candidate assignments per class *)
+  let cap = 32 in
+  let class_assignments cls specs =
+    let oids = Option.value ~default:[] (List.assoc_opt cls available) in
+    (* assign specs in order; unbounded SETOF specs swallow the rest *)
+    let rec go specs remaining =
+      match specs with
+      | [] -> [ [] ]
+      | spec :: rest ->
+        let takes =
+          match spec.Process.card_max with
+          | Some m ->
+            let sizes =
+              List.init (m - spec.Process.card_min + 1) (fun i ->
+                  spec.Process.card_min + i)
+            in
+            List.concat_map (fun k -> subsets_k cap k remaining) sizes
+          | None ->
+            (* greedy: take everything still available *)
+            if List.length remaining >= spec.Process.card_min then
+              [ remaining ]
+            else []
+        in
+        List.concat_map
+          (fun chosen ->
+            let left = List.filter (fun o -> not (List.mem o chosen)) remaining in
+            List.map
+              (fun tail -> (spec.Process.arg_name, chosen) :: tail)
+              (go rest left))
+          takes
+        |> fun l ->
+        if List.length l > cap then List.filteri (fun i _ -> i < cap) l else l
+    in
+    go specs oids
+  in
+  let classes_in_order =
+    List.sort_uniq compare
+      (List.map (fun a -> a.Process.arg_class) p.Process.args)
+  in
+  let rec product = function
+    | [] -> [ [] ]
+    | cls :: rest ->
+      let specs = Hashtbl.find by_class cls in
+      let here = class_assignments cls specs in
+      let tails = product rest in
+      List.concat_map
+        (fun assignment -> List.map (fun tail -> assignment @ tail) tails)
+        here
+      |> fun l ->
+      if List.length l > cap * 4 then List.filteri (fun i _ -> i < cap * 4) l
+      else l
+  in
+  let candidates = product classes_in_order in
+  let rec try_all last_err = function
+    | [] ->
+      Gaea_error.err
+        (Printf.sprintf "%s: no valid binding found (%s)" p.Process.proc_name
+           last_err)
+    | binding :: rest ->
+      if List.exists (binding_equal binding) exclude then
+        try_all "remaining candidates already used" rest
+      else (
+        match check_inputs t p binding with
+        | Ok () -> Ok binding
+        | Error e -> try_all (Gaea_error.to_string e) rest)
+  in
+  try_all "no candidates" candidates
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let count_pixels v =
+  match v with
+  | Value.VImage img -> Gaea_raster.Image.size img
+  | Value.VComposite c ->
+    Gaea_raster.Composite.n_pixels c * Gaea_raster.Composite.n_bands c
+  | _ -> 0
+
+let eval_primitive t (p : Process.t) inputs =
+  match Process.template p with
+  | None ->
+    Error (Gaea_error.Invalid (p.Process.proc_name ^ ": not a primitive process"))
+  | Some tmpl ->
+    let* () = check_cards p inputs in
+    let env = make_env t p inputs in
+    let* () = Template.check_assertions env tmpl in
+    let* pairs = Template.eval_mappings env tmpl in
+    (* the output class must be fully mapped *)
+    (match Catalog.find t.catalog p.Process.output_class with
+     | None ->
+       Gaea_error.err
+         (Printf.sprintf "%s: unknown output class %s" p.Process.proc_name
+            p.Process.output_class)
+     | Some def ->
+       let missing =
+         List.filter
+           (fun a -> not (List.mem_assoc a pairs))
+           (Schema.attr_names def)
+       in
+       if missing <> [] then
+         Gaea_error.err
+           (Printf.sprintf "%s: mappings missing for attribute(s) %s"
+              p.Process.proc_name
+              (String.concat ", " missing))
+       else Ok pairs)
+
+let execute_primitive t (p : Process.t) inputs =
+  let* pairs = eval_primitive t p inputs in
+  let* oid = Obj_store.insert t.objects ~cls:p.Process.output_class pairs in
+  List.iter
+    (fun (_, v) ->
+      t.metrics.Metrics.pixels_processed <-
+        t.metrics.Metrics.pixels_processed + count_pixels v)
+    pairs;
+  Ok
+    (Provenance.record_task t.prov ~process:p.Process.proc_name
+       ~version:p.Process.version ~inputs ~params:p.Process.params
+       ~outputs:[ oid ] ~output_class:p.Process.output_class)
+
+(* all recorded outputs must still be stored for a cached task to be
+   served (guards callers that bypass delete) *)
+let outputs_live t (task : Task.t) =
+  task.Task.outputs <> []
+  && List.for_all (fun oid -> Obj_store.mem t.objects oid) task.Task.outputs
+
+let rec execute_process t (p : Process.t) ~inputs =
+  let key = cache_key_of p inputs in
+  match Hashtbl.find_opt t.result_cache key with
+  | Some task when outputs_live t task ->
+    Events.emit t.bus
+      (Events.Cache_hit
+         { process = p.Process.proc_name; version = p.Process.version });
+    Ok task
+  | stale ->
+    if stale <> None then Hashtbl.remove t.result_cache key;
+    Events.emit t.bus
+      (Events.Cache_miss
+         { process = p.Process.proc_name; version = p.Process.version });
+    let result = execute_uncached t p ~inputs in
+    (match result with
+     | Ok task -> Hashtbl.replace t.result_cache key task
+     | Error _ -> ());
+    result
+
+and execute_uncached t (p : Process.t) ~inputs =
+  match p.Process.kind with
+  | Process.Primitive _ -> execute_primitive t p inputs
+  | Process.Compound steps ->
+    (* expand: run each step's (latest) sub-process, threading outputs *)
+    let rec run acc_outputs last_task = function
+      | [] ->
+        (match last_task with
+         | Some task -> Ok task
+         | None ->
+           Error
+             (Gaea_error.Invalid
+                (p.Process.proc_name ^ ": compound with no steps")))
+      | step :: rest ->
+        (match Proc_registry.find t.procs step.Process.step_process with
+         | None ->
+           Gaea_error.err
+             (Printf.sprintf "%s: unknown sub-process %s" p.Process.proc_name
+                step.Process.step_process)
+         | Some sub ->
+           let* sub_inputs =
+             List.fold_left
+               (fun acc (arg, input) ->
+                 let* acc = acc in
+                 match input with
+                 | Process.From_arg a ->
+                   (match List.assoc_opt a inputs with
+                    | Some oids -> Ok ((arg, oids) :: acc)
+                    | None ->
+                      Gaea_error.err
+                        (Printf.sprintf "%s: argument %s not bound"
+                           p.Process.proc_name a))
+                 | Process.From_step j ->
+                   (match List.nth_opt acc_outputs j with
+                    | Some oids -> Ok ((arg, oids) :: acc)
+                    | None ->
+                      Gaea_error.err
+                        (Printf.sprintf "%s: step %d output unavailable"
+                           p.Process.proc_name j)))
+               (Ok []) step.Process.step_inputs
+           in
+           let* task = execute_process t sub ~inputs:(List.rev sub_inputs) in
+           run (acc_outputs @ [ task.Task.outputs ]) (Some task) rest)
+    in
+    run [] None steps
+
+let recompute_task t (task : Task.t) =
+  match
+    Proc_registry.find t.procs ~version:task.Task.process_version
+      task.Task.process
+  with
+  | None ->
+    Error
+      (Gaea_error.Unknown_process
+         { name = task.Task.process; version = Some task.Task.process_version })
+  | Some p -> eval_primitive t p task.Task.inputs

@@ -1,0 +1,58 @@
+(** The deriver: template evaluation, binding search, process
+    execution, and the provenance-keyed result cache.
+
+    Cache invalidation is event-driven: the deriver subscribes to
+    [Object_deleted], [Process_versioned] and [Class_mutated] and
+    drops stale entries itself, emitting [Cache_invalidated]; cache
+    lookups emit [Cache_hit] / [Cache_miss] (counted by
+    {!Metrics.attach}). *)
+
+module Oid = Gaea_storage.Oid
+
+type t
+
+val create :
+  registry:Gaea_adt.Registry.t
+  -> catalog:Catalog.t
+  -> objects:Obj_store.t
+  -> procs:Proc_registry.t
+  -> prov:Provenance.t
+  -> metrics:Metrics.t
+  -> bus:Events.bus
+  -> t
+
+val check_inputs :
+  t -> Process.t -> (string * Oid.t list) list -> (unit, Gaea_error.t) result
+(** Cardinalities, then template assertions. *)
+
+val find_binding :
+  t -> ?exclude:(string * Oid.t list) list list
+  -> Process.t -> available:(string * Oid.t list) list
+  -> ((string * Oid.t list) list, Gaea_error.t) result
+
+val eval_primitive :
+  t -> Process.t -> (string * Oid.t list) list
+  -> ((string * Gaea_adt.Value.t) list, Gaea_error.t) result
+(** Check and evaluate without inserting or recording. *)
+
+val execute_process :
+  t -> Process.t -> inputs:(string * Oid.t list) list
+  -> (Task.t, Gaea_error.t) result
+
+val recompute_task :
+  t -> Task.t -> ((string * Gaea_adt.Value.t) list, Gaea_error.t) result
+
+(** {2 Result cache} *)
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;  (** live memoized results *)
+  invalidations : int;  (** entries dropped *)
+}
+
+val cache_stats : t -> cache_stats
+val clear_cache : t -> unit
+val invalidate_process : t -> string -> unit
+(** Drop memoized results of the named process and of every compound
+    that transitively expands to it. *)

@@ -1,0 +1,55 @@
+type event =
+  | Class_defined of string
+  | Class_mutated of string
+  | Object_inserted of { cls : string; oid : int }
+  | Object_deleted of { cls : string; oid : int }
+  | Process_defined of { name : string; version : int }
+  | Process_versioned of { name : string; version : int }
+  | Task_recorded of { task_id : int; process : string; version : int }
+  | Cache_hit of { process : string; version : int }
+  | Cache_miss of { process : string; version : int }
+  | Cache_invalidated of { entries : int; reason : string }
+
+let event_to_string = function
+  | Class_defined c -> Printf.sprintf "class_defined %s" c
+  | Class_mutated c -> Printf.sprintf "class_mutated %s" c
+  | Object_inserted { cls; oid } ->
+    Printf.sprintf "object_inserted %s #%d" cls oid
+  | Object_deleted { cls; oid } -> Printf.sprintf "object_deleted %s #%d" cls oid
+  | Process_defined { name; version } ->
+    Printf.sprintf "process_defined %s v%d" name version
+  | Process_versioned { name; version } ->
+    Printf.sprintf "process_versioned %s v%d" name version
+  | Task_recorded { task_id; process; version } ->
+    Printf.sprintf "task_recorded #%d %s v%d" task_id process version
+  | Cache_hit { process; version } ->
+    Printf.sprintf "cache_hit %s v%d" process version
+  | Cache_miss { process; version } ->
+    Printf.sprintf "cache_miss %s v%d" process version
+  | Cache_invalidated { entries; reason } ->
+    Printf.sprintf "cache_invalidated %d entries (%s)" entries reason
+
+type bus = {
+  mutable subs : (string * (event -> unit)) list; (* registration order *)
+  ring : (int * event) option array;
+  mutable next_seq : int;
+}
+
+let create ?(log_capacity = 256) () =
+  { subs = []; ring = Array.make (max 1 log_capacity) None; next_seq = 0 }
+
+let subscribe bus ~name f = bus.subs <- bus.subs @ [ (name, f) ]
+let subscribers bus = List.map fst bus.subs
+
+let emit bus ev =
+  let seq = bus.next_seq in
+  bus.next_seq <- seq + 1;
+  bus.ring.(seq mod Array.length bus.ring) <- Some (seq, ev);
+  List.iter (fun (_, f) -> f ev) bus.subs
+
+let log bus =
+  Array.to_list bus.ring
+  |> List.filter_map Fun.id
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let seen bus = bus.next_seq

@@ -1,0 +1,54 @@
+(** The kernel event bus.
+
+    Every state change in a kernel subsystem is announced as an
+    {!event} on a shared {!bus}.  Cross-cutting concerns — result-cache
+    invalidation, the execution counters, the derivation-net cache —
+    are subscribers rather than hand-threaded calls, so adding a new
+    observer (persistence hooks, metrics exporters) never touches the
+    mutating code paths.
+
+    The bus also keeps a bounded in-memory log (ring buffer) of recent
+    events with monotonically increasing sequence numbers — the first
+    observability surface, dumpable from the CLI via [SHOW EVENTS]. *)
+
+type event =
+  | Class_defined of string
+  | Class_mutated of string
+      (** A class's objects changed behind the kernel's back
+          (bulk loads, external edits); fired by
+          [Kernel.invalidate_cache_class]. *)
+  | Object_inserted of { cls : string; oid : int }
+  | Object_deleted of { cls : string; oid : int }
+  | Process_defined of { name : string; version : int }
+      (** First version of a new process name. *)
+  | Process_versioned of { name : string; version : int }
+      (** A further version of an existing name — staling trigger. *)
+  | Task_recorded of { task_id : int; process : string; version : int }
+  | Cache_hit of { process : string; version : int }
+  | Cache_miss of { process : string; version : int }
+  | Cache_invalidated of { entries : int; reason : string }
+
+val event_to_string : event -> string
+
+type bus
+
+val create : ?log_capacity:int -> unit -> bus
+(** [log_capacity] bounds the ring buffer (default 256, min 1). *)
+
+val subscribe : bus -> name:string -> (event -> unit) -> unit
+(** Register a subscriber.  Subscribers run synchronously on
+    {!emit}, in registration order. *)
+
+val subscribers : bus -> string list
+(** Registration order. *)
+
+val emit : bus -> event -> unit
+(** Log the event, then notify every subscriber in order. *)
+
+val log : bus -> (int * event) list
+(** Retained events, oldest first, each with its sequence number.
+    At most [log_capacity] entries; earlier events have been
+    overwritten. *)
+
+val seen : bus -> int
+(** Total number of events emitted (not bounded by the ring). *)

@@ -11,9 +11,9 @@ type manager = (string, t) Hashtbl.t
 let create_manager () = Hashtbl.create 16
 
 let begin_experiment m ~name ?(doc = "") ?(concepts = []) () =
-  if name = "" then Error "experiment: empty name"
+  if name = "" then Gaea_error.err "experiment: empty name"
   else if Hashtbl.mem m name then
-    Error (Printf.sprintf "experiment %s already exists" name)
+    Gaea_error.err (Printf.sprintf "experiment %s already exists" name)
   else begin
     Hashtbl.add m name
       { e_name = name; e_doc = doc; concepts; task_ids = []; notes = [] };
@@ -22,7 +22,7 @@ let begin_experiment m ~name ?(doc = "") ?(concepts = []) () =
 
 let update m name f =
   match Hashtbl.find_opt m name with
-  | None -> Error (Printf.sprintf "unknown experiment %s" name)
+  | None -> Gaea_error.err (Printf.sprintf "unknown experiment %s" name)
   | Some e ->
     Hashtbl.replace m name (f e);
     Ok ()
@@ -51,7 +51,7 @@ type reproduction = {
 
 let reproduce m k ~experiment =
   match find m experiment with
-  | None -> Error (Printf.sprintf "unknown experiment %s" experiment)
+  | None -> Gaea_error.err (Printf.sprintf "unknown experiment %s" experiment)
   | Some e ->
     let total = List.length e.task_ids in
     let reproduced, failures =
@@ -63,14 +63,14 @@ let reproduce m k ~experiment =
             (match Lineage.verify_task k task with
              | Ok true -> (ok + 1, fails)
              | Ok false -> (ok, (id, "outputs differ") :: fails)
-             | Error msg -> (ok, (id, msg) :: fails)))
+             | Error msg -> (ok, (id, Gaea_error.to_string msg) :: fails)))
         (0, []) e.task_ids
     in
     Ok { total; reproduced; failures = List.rev failures }
 
 let report m k ~experiment =
   match find m experiment with
-  | None -> Error (Printf.sprintf "unknown experiment %s" experiment)
+  | None -> Gaea_error.err (Printf.sprintf "unknown experiment %s" experiment)
   | Some e ->
     let buf = Buffer.create 512 in
     Buffer.add_string buf (Printf.sprintf "EXPERIMENT %s\n" e.e_name);

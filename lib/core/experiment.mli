@@ -20,11 +20,11 @@ val create_manager : unit -> manager
 
 val begin_experiment :
   manager -> name:string -> ?doc:string -> ?concepts:string list -> unit
-  -> (unit, string) result
+  -> (unit, Gaea_error.t) result
 
-val record_task : manager -> experiment:string -> int -> (unit, string) result
-val add_note : manager -> experiment:string -> string -> (unit, string) result
-val add_concept : manager -> experiment:string -> string -> (unit, string) result
+val record_task : manager -> experiment:string -> int -> (unit, Gaea_error.t) result
+val add_note : manager -> experiment:string -> string -> (unit, Gaea_error.t) result
+val add_concept : manager -> experiment:string -> string -> (unit, Gaea_error.t) result
 
 val find : manager -> string -> t option
 val all : manager -> t list
@@ -36,10 +36,10 @@ type reproduction = {
 }
 
 val reproduce : manager -> Kernel.t -> experiment:string
-  -> (reproduction, string) result
+  -> (reproduction, Gaea_error.t) result
 (** Recompute every task of the experiment against the current store and
     compare with the recorded outputs. *)
 
-val report : manager -> Kernel.t -> experiment:string -> (string, string) result
+val report : manager -> Kernel.t -> experiment:string -> (string, Gaea_error.t) result
 (** Shareable textual summary: concepts, per-task derivation records,
     notes. *)

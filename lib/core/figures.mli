@@ -14,14 +14,14 @@ val land_cover_class : string     (** "land_cover" — the paper's C20 *)
 
 val p20_name : string             (** "unsupervised-classification" *)
 
-val install_fig3 : ?k:int -> Kernel.t -> (unit, string) result
+val install_fig3 : ?k:int -> Kernel.t -> (unit, Gaea_error.t) result
 (** Define C1, C20 and P20 (k land-cover classes, default 12 as in the
     figure). *)
 
 val load_tm_bands :
   Kernel.t -> seed:int -> ?nrow:int -> ?ncol:int -> ?n_bands:int
   -> ?extent:Gaea_geo.Extent.t -> unit
-  -> (Gaea_storage.Oid.t list, string) result
+  -> (Gaea_storage.Oid.t list, Gaea_error.t) result
 (** Insert synthetic rectified-TM band objects (default 3 bands of
     64x64) sharing one spatio-temporal extent. *)
 
@@ -41,14 +41,14 @@ val p_change_div : string         (** "veg-change-divide" (scientist 2) *)
 
 val p_change_spca : string        (** "veg-change-spca" (C7 via Fig 4 net) *)
 
-val install_vegetation : Kernel.t -> (unit, string) result
+val install_vegetation : Kernel.t -> (unit, Gaea_error.t) result
 (** Classes and the four processes, plus the NDVI / Vegetation-Change
     concepts of Fig 2. *)
 
 val load_avhrr_year :
   Kernel.t -> seed:int -> year:int -> ?nrow:int -> ?ncol:int
   -> ?vegetation_shift:float -> unit
-  -> (Gaea_storage.Oid.t * Gaea_storage.Oid.t, string) result
+  -> (Gaea_storage.Oid.t * Gaea_storage.Oid.t, Gaea_error.t) result
 (** Insert a (red, nir) AVHRR channel pair for the given year; returns
     (red oid, nir oid). *)
 
@@ -58,7 +58,7 @@ val rainfall_class : string       (** "rainfall_map" *)
 
 val desert_class : string         (** "desert_map" (C2-style) *)
 
-val install_deserts : Kernel.t -> (unit, string) result
+val install_deserts : Kernel.t -> (unit, Gaea_error.t) result
 (** The DESERT ISA hierarchy (hot trade-wind / ice-snow) and two
     parameterized desert processes: rainfall < 250 mm and < 200 mm —
     "the same derivation method with different parameters represents
@@ -69,7 +69,7 @@ val p_desert_200 : string
 
 val load_rainfall :
   Kernel.t -> seed:int -> ?nrow:int -> ?ncol:int -> unit
-  -> (Gaea_storage.Oid.t, string) result
+  -> (Gaea_storage.Oid.t, Gaea_error.t) result
 
 (** {2 Fig 5 — compound process land-change-detection} *)
 
@@ -82,11 +82,11 @@ val p_classify_change : string    (** primitive classification step *)
 
 val p_land_change : string        (** the compound "land-change-detection" *)
 
-val install_fig5 : Kernel.t -> (unit, string) result
+val install_fig5 : Kernel.t -> (unit, Gaea_error.t) result
 (** Requires {!install_fig3} (reuses the TM class). *)
 
 (** {2 Everything} *)
 
-val install_all : Kernel.t -> (unit, string) result
+val install_all : Kernel.t -> (unit, Gaea_error.t) result
 (** Fig 3 + vegetation + deserts + Fig 5 on one kernel (the full Fig 2
     three-layer schema). *)

@@ -44,7 +44,7 @@ let run_analysis t ~scientist ~output ~inputs f =
     | None ->
       (* the file was overwritten or removed by someone else *)
       t.stats.failed_recalls <- t.stats.failed_recalls + 1;
-      Error (output ^ ": file vanished")
+      Error (Gaea_error.Io_error (output ^ ": file vanished"))
   else begin
     let rec read acc = function
       | [] -> Ok (List.rev acc)
@@ -53,7 +53,7 @@ let run_analysis t ~scientist ~output ~inputs f =
          | Some img -> read (img :: acc) rest
          | None ->
            t.stats.failed_recalls <- t.stats.failed_recalls + 1;
-           Error (name ^ ": no such file"))
+           Error (Gaea_error.Io_error (name ^ ": no such file")))
     in
     match read [] inputs with
     | Error _ as e -> e

@@ -36,7 +36,7 @@ val file_count : t -> int
 val run_analysis :
   t -> scientist:string -> output:string -> inputs:string list
   -> (Gaea_raster.Image.t list -> Gaea_raster.Image.t)
-  -> (Gaea_raster.Image.t, string) result
+  -> (Gaea_raster.Image.t, Gaea_error.t) result
 (** Execute an analysis exactly as a GIS user would: read the input
     files, run the command, write the output file.  A scientist only
     reuses an existing output if {e they} produced it under that exact

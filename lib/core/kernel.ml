@@ -1,15 +1,13 @@
-module Value = Gaea_adt.Value
-module Vtype = Gaea_adt.Vtype
-module Registry = Gaea_adt.Registry
-module Operator = Gaea_adt.Operator
-module Store = Gaea_storage.Store
-module Table = Gaea_storage.Table
-module Tuple = Gaea_storage.Tuple
-module Oid = Gaea_storage.Oid
-module Net = Gaea_petri.Net
-module Marking = Gaea_petri.Marking
+(* The kernel facade: composes the subsystem modules — Catalog,
+   Obj_store, Proc_registry, Deriver, Provenance — over one shared
+   event bus, preserving the historical flat API. *)
 
-type counters = {
+module Registry = Gaea_adt.Registry
+module Store = Gaea_storage.Store
+module Marking = Gaea_petri.Marking
+module Events = Events
+
+type counters = Metrics.t = {
   mutable executions : int;
   mutable retrievals : int;
   mutable interpolations : int;
@@ -18,777 +16,127 @@ type counters = {
   mutable cache_misses : int;
 }
 
-(* Provenance key of a derived result: the process identity, the exact
-   input binding (argument order preserved — templates index into it),
-   and the parameter bindings by content hash. *)
-type cache_key =
-  string * int * (string * Oid.t list) list * (string * int) list
-
-type cache_stats = {
+type cache_stats = Deriver.cache_stats = {
   hits : int;
   misses : int;
   entries : int;
   invalidations : int;
 }
 
-type net_view = {
-  net : Net.t;
-  place_of_class : string -> Net.place option;
-  class_of_place : Net.place -> string option;
-  process_of_transition : Net.transition -> (string * int) option;
+type net_view = Provenance.net_view = {
+  net : Gaea_petri.Net.t;
+  place_of_class : string -> Gaea_petri.Net.place option;
+  class_of_place : Gaea_petri.Net.place -> string option;
+  process_of_transition : Gaea_petri.Net.transition -> (string * int) option;
 }
 
 type t = {
   registry : Registry.t;
   store : Store.t;
-  class_defs : (string, Schema.t) Hashtbl.t;
+  bus : Events.bus;
+  metrics : Metrics.t;
+  catalog : Catalog.t;
+  objects : Obj_store.t;
+  procs : Proc_registry.t;
   concepts : Concept.t;
-  (* name -> versions ascending *)
-  procs : (string, Process.t list) Hashtbl.t;
-  mutable task_log : Task.t list; (* reverse chronological *)
-  task_by_id : (int, Task.t) Hashtbl.t;
-  producer : (Oid.t, Task.t) Hashtbl.t;
-  users : (Oid.t, Task.t list) Hashtbl.t;
-  oid_class : (Oid.t, string) Hashtbl.t;
-  mutable next_task : int;
-  mutable clock : int;
-  mutable net_cache : net_view option;
-  result_cache : (cache_key, Task.t) Hashtbl.t;
-  mutable cache_invalidations : int;
-  counters : counters;
+  prov : Provenance.t;
+  deriver : Deriver.t;
 }
 
 let create () =
-  { registry = Registry.with_builtins ();
-    store = Store.create ();
-    class_defs = Hashtbl.create 32;
-    concepts = Concept.create ();
-    procs = Hashtbl.create 32;
-    task_log = [];
-    task_by_id = Hashtbl.create 64;
-    producer = Hashtbl.create 64;
-    users = Hashtbl.create 64;
-    oid_class = Hashtbl.create 256;
-    next_task = 1;
-    clock = 0;
-    net_cache = None;
-    result_cache = Hashtbl.create 64;
-    cache_invalidations = 0;
-    counters =
-      { executions = 0; retrievals = 0; interpolations = 0;
-        pixels_processed = 0; cache_hits = 0; cache_misses = 0 } }
+  let registry = Registry.with_builtins () in
+  let store = Store.create () in
+  let bus = Events.create () in
+  (* subscription order fixes notification order: metrics first, then
+     the net cache (inside Provenance.create), then the result cache
+     (inside Deriver.create) *)
+  let metrics = Metrics.create () in
+  Metrics.attach bus metrics;
+  let catalog = Catalog.create ~store ~bus in
+  let objects = Obj_store.create ~store ~catalog ~bus in
+  let procs = Proc_registry.create ~catalog ~bus in
+  let prov = Provenance.create ~bus in
+  let deriver =
+    Deriver.create ~registry ~catalog ~objects ~procs ~prov ~metrics ~bus
+  in
+  { registry; store; bus; metrics; catalog; objects; procs;
+    concepts = Concept.create (); prov; deriver }
 
+(* system level *)
 let registry t = t.registry
 let store t = t.store
 let concepts t = t.concepts
-let counters t = t.counters
 
-let reset_counters t =
-  t.counters.executions <- 0;
-  t.counters.retrievals <- 0;
-  t.counters.interpolations <- 0;
-  t.counters.pixels_processed <- 0;
-  t.counters.cache_hits <- 0;
-  t.counters.cache_misses <- 0
+(* events *)
+let bus t = t.bus
+let event_log t = Events.log t.bus
 
-let clock t = t.clock
+(* bookkeeping *)
+let counters t = t.metrics
+let reset_counters t = Metrics.reset t.metrics
+let clock t = Provenance.clock t.prov
 
-let invalidate_net t = t.net_cache <- None
+(* classes *)
+let define_class t cls = Catalog.define t.catalog cls
+let find_class t name = Catalog.find t.catalog name
+let classes t = Catalog.classes t.catalog
+let class_table t name = Catalog.table t.catalog name
 
-(* ------------------------------------------------------------------ *)
-(* Derived-object result cache                                         *)
-(* ------------------------------------------------------------------ *)
-
-let cache_key_of (p : Process.t) inputs : cache_key =
-  ( p.Process.proc_name,
-    p.Process.version,
-    List.sort (fun (a, _) (b, _) -> String.compare a b) inputs,
-    List.map (fun (n, v) -> (n, Value.content_hash v)) p.Process.params
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b) )
-
-let cache_stats t =
-  { hits = t.counters.cache_hits;
-    misses = t.counters.cache_misses;
-    entries = Hashtbl.length t.result_cache;
-    invalidations = t.cache_invalidations }
-
-let clear_cache t =
-  t.cache_invalidations <- t.cache_invalidations + Hashtbl.length t.result_cache;
-  Hashtbl.reset t.result_cache
-
-let invalidate_cache_entries t pred =
-  let doomed =
-    Hashtbl.fold
-      (fun key task acc -> if pred key task then key :: acc else acc)
-      t.result_cache []
-  in
-  List.iter (Hashtbl.remove t.result_cache) doomed;
-  t.cache_invalidations <- t.cache_invalidations + List.length doomed
-
-(* Names whose (latest) definitions reach [name] through compound
-   steps: editing a sub-process stales every cached compound above it. *)
-let dependent_processes t name =
-  let reaches acc p =
-    List.exists (fun s -> List.mem s.Process.step_process acc) (Process.steps p)
-  in
-  let rec grow acc =
-    let next =
-      Hashtbl.fold
-        (fun pname versions acc' ->
-          if List.mem pname acc' then acc'
-          else if List.exists (reaches acc') versions then pname :: acc'
-          else acc')
-        t.procs acc
-    in
-    if List.length next = List.length acc then acc else grow next
-  in
-  grow [ name ]
-
-let invalidate_cache_process t name =
-  let stale = dependent_processes t name in
-  invalidate_cache_entries t (fun (pname, _, _, _) _ -> List.mem pname stale)
-
-let invalidate_cache_oid t oid =
-  invalidate_cache_entries t (fun (_, _, inputs, _) task ->
-      List.mem oid task.Task.outputs
-      || List.exists (fun (_, oids) -> List.mem oid oids) inputs)
-
-let invalidate_cache_class t cls =
-  invalidate_cache_entries t (fun (_, _, inputs, _) task ->
-      task.Task.output_class = cls
-      || List.exists
-           (fun (_, oids) ->
-             List.exists
-               (fun o -> Hashtbl.find_opt t.oid_class o = Some cls)
-               oids)
-           inputs)
-
-(* ------------------------------------------------------------------ *)
-(* Classes                                                             *)
-(* ------------------------------------------------------------------ *)
-
-let define_class t (cls : Schema.t) =
-  let name = cls.Schema.c_name in
-  if Hashtbl.mem t.class_defs name then
-    Error (Printf.sprintf "class %s already defined" name)
-  else
-    match Store.create_table t.store ~name (Schema.storage_attrs cls) with
-    | Error _ as e -> e |> Result.map (fun _ -> ())
-    | Ok _table ->
-      Hashtbl.add t.class_defs name cls;
-      invalidate_net t;
-      Ok ()
-
-let find_class t name = Hashtbl.find_opt t.class_defs name
-
-let classes t =
-  Hashtbl.fold (fun _ c acc -> c :: acc) t.class_defs []
-  |> List.sort (fun a b -> compare a.Schema.c_name b.Schema.c_name)
-
-let class_table t name =
-  if Hashtbl.mem t.class_defs name then Store.table t.store name else None
-
-(* ------------------------------------------------------------------ *)
-(* Objects                                                             *)
-(* ------------------------------------------------------------------ *)
-
-let count_pixels v =
-  match v with
-  | Value.VImage img -> Gaea_raster.Image.size img
-  | Value.VComposite c ->
-    Gaea_raster.Composite.n_pixels c * Gaea_raster.Composite.n_bands c
-  | _ -> 0
-
-let insert_object t ~cls pairs =
-  match find_class t cls with
-  | None -> Error (Printf.sprintf "unknown class %s" cls)
-  | Some def ->
-    let attrs = Schema.attr_names def in
-    let missing = List.filter (fun a -> not (List.mem_assoc a pairs)) attrs in
-    let extra =
-      List.filter (fun (a, _) -> not (List.mem a attrs)) pairs
-    in
-    if missing <> [] then
-      Error
-        (Printf.sprintf "%s: missing attribute(s) %s" cls
-           (String.concat ", " missing))
-    else if extra <> [] then
-      Error
-        (Printf.sprintf "%s: unknown attribute(s) %s" cls
-           (String.concat ", " (List.map fst extra)))
-    else begin
-      let values = List.map (fun a -> List.assoc a pairs) attrs in
-      match Store.insert_values t.store ~table:cls values with
-      | Error _ as e -> e |> Result.map (fun _ -> Oid.invalid)
-      | Ok oid ->
-        Hashtbl.replace t.oid_class oid cls;
-        Ok oid
-    end
-
-let object_tuple t ~cls oid = Store.get t.store ~table:cls oid
-
-let object_attr t ~cls oid attr =
-  match class_table t cls with
-  | None -> None
-  | Some tab -> Table.get_attr tab oid attr
-
-let objects_of_class t cls =
-  match class_table t cls with
-  | None -> []
-  | Some tab ->
-    List.rev (Table.fold tab ~init:[] ~f:(fun acc oid _ -> oid :: acc))
-
-let class_of_object t oid = Hashtbl.find_opt t.oid_class oid
-
-let count_objects t cls =
-  match class_table t cls with
-  | None -> 0
-  | Some tab -> Table.row_count tab
-
-let delete_object t ~cls oid =
-  let deleted = Store.delete t.store ~table:cls oid in
-  if deleted then begin
-    Hashtbl.remove t.oid_class oid;
-    (* cached results that consumed or produced the object are stale *)
-    invalidate_cache_oid t oid
-  end;
-  deleted
-
-(* ------------------------------------------------------------------ *)
-(* Processes                                                           *)
-(* ------------------------------------------------------------------ *)
-
-let process_versions t name =
-  Option.value ~default:[] (Hashtbl.find_opt t.procs name)
-
-let find_process t ?version name =
-  let versions = process_versions t name in
-  match version with
-  | Some v -> List.find_opt (fun p -> p.Process.version = v) versions
-  | None ->
-    (match List.rev versions with
-     | latest :: _ -> Some latest
-     | [] -> None)
-
-let define_process t (p : Process.t) =
-  let name = p.Process.proc_name in
-  let versions = process_versions t name in
-  if List.exists (fun q -> q.Process.version = p.Process.version) versions then
-    Error
-      (Printf.sprintf "process %s v%d already defined" name p.Process.version)
-  else begin
-    let unknown_classes =
-      List.filter
-        (fun c -> not (Hashtbl.mem t.class_defs c))
-        (p.Process.output_class
-         :: List.map (fun a -> a.Process.arg_class) p.Process.args)
-      |> List.sort_uniq compare
-    in
-    if unknown_classes <> [] then
-      Error
-        (Printf.sprintf "process %s: unknown class(es) %s" name
-           (String.concat ", " unknown_classes))
-    else begin
-      let unknown_subs =
-        List.filter
-          (fun s -> process_versions t s.Process.step_process = [])
-          (Process.steps p)
-      in
-      if unknown_subs <> [] then
-        Error
-          (Printf.sprintf "process %s: unknown sub-process(es) %s" name
-             (String.concat ", "
-                (List.map (fun s -> s.Process.step_process) unknown_subs)))
-      else begin
-        Hashtbl.replace t.procs name
-          (List.sort
-             (fun a b -> Int.compare a.Process.version b.Process.version)
-             (p :: versions));
-        invalidate_net t;
-        (* re-versioning: cached results of this process (and of any
-           compound that expands to it) no longer reflect the latest
-           definition *)
-        if versions <> [] then invalidate_cache_process t name;
-        Ok ()
-      end
-    end
-  end
-
-let processes t =
-  Hashtbl.fold
-    (fun name _ acc ->
-      match find_process t name with
-      | Some p -> p :: acc
-      | None -> acc)
-    t.procs []
-  |> List.sort (fun a b -> compare a.Process.proc_name b.Process.proc_name)
-
-let all_process_versions t =
-  Hashtbl.fold (fun _ vs acc -> vs @ acc) t.procs []
-  |> List.sort (fun a b -> compare (Process.key a) (Process.key b))
-
-(* ------------------------------------------------------------------ *)
-(* Template environment                                                *)
-(* ------------------------------------------------------------------ *)
-
-let ( let* ) r f = Result.bind r f
-
-let make_env t (p : Process.t) (inputs : (string * Oid.t list) list) =
-  let arg_class name =
-    Option.map (fun a -> a.Process.arg_class) (Process.arg p name)
-  in
-  { Template.arg_objects =
-      (fun name ->
-        Option.map
-          (fun oids -> List.map (fun o -> Value.int o) oids)
-          (List.assoc_opt name inputs));
-    attr_value =
-      (fun name i attr ->
-        match List.assoc_opt name inputs, arg_class name with
-        | Some oids, Some cls when i >= 0 && i < List.length oids ->
-          let oid = List.nth oids i in
-          (match object_attr t ~cls oid attr with
-           | Some v -> Ok v
-           | None ->
-             Error
-               (Printf.sprintf "object %d of class %s has no attribute %s" oid
-                  cls attr))
-        | _ -> Error (Printf.sprintf "bad argument reference %s[%d]" name i));
-    spatial_attr =
-      (fun name ->
-        Option.bind (arg_class name) (fun cls ->
-            Option.bind (find_class t cls) (fun def ->
-                def.Schema.spatial_attr)));
-    temporal_attr =
-      (fun name ->
-        Option.bind (arg_class name) (fun cls ->
-            Option.bind (find_class t cls) (fun def ->
-                def.Schema.temporal_attr)));
-    param = (fun name -> Process.param p name);
-    apply = (fun op args -> Registry.apply t.registry op args);
-    arity =
-      (fun op ->
-        Option.map
-          (fun o ->
-            match (Operator.signature o).Operator.variadic with
-            | Some _ -> `Variadic
-            | None -> `Fixed (List.length (Operator.signature o).Operator.params))
-          (Registry.find_operator t.registry op)) }
-
-let check_cards (p : Process.t) inputs =
-  List.fold_left
-    (fun acc spec ->
-      let* () = acc in
-      match List.assoc_opt spec.Process.arg_name inputs with
-      | None ->
-        Error
-          (Printf.sprintf "%s: argument %s not bound" p.Process.proc_name
-             spec.Process.arg_name)
-      | Some oids ->
-        let n = List.length oids in
-        if n < spec.Process.card_min then
-          Error
-            (Printf.sprintf "%s: %s needs at least %d object(s), got %d"
-               p.Process.proc_name spec.Process.arg_name spec.Process.card_min
-               n)
-        else (
-          match spec.Process.card_max with
-          | Some m when n > m ->
-            Error
-              (Printf.sprintf "%s: %s takes at most %d object(s), got %d"
-                 p.Process.proc_name spec.Process.arg_name m n)
-          | _ -> Ok ()))
-    (Ok ()) p.Process.args
-
-let check_inputs t (p : Process.t) inputs =
-  let* () = check_cards p inputs in
-  match Process.template p with
-  | None -> Ok ()
-  | Some tmpl ->
-    let env = make_env t p inputs in
-    Template.check_assertions env tmpl
-
-(* ------------------------------------------------------------------ *)
-(* Binding search                                                      *)
-(* ------------------------------------------------------------------ *)
-
-(* subsets of size k, capped *)
-let rec subsets_k cap k = function
-  | _ when k = 0 -> [ [] ]
-  | [] -> []
-  | x :: rest ->
-    let with_x =
-      List.map (fun s -> x :: s) (subsets_k cap (k - 1) rest)
-    in
-    let without = if List.length with_x >= cap then [] else subsets_k cap k rest in
-    let all = with_x @ without in
-    if List.length all > cap then List.filteri (fun i _ -> i < cap) all
-    else all
-
-let binding_equal b1 b2 =
-  List.length b1 = List.length b2
-  && List.for_all
-       (fun (arg, oids) ->
-         match List.assoc_opt arg b2 with
-         | Some oids2 ->
-           List.sort Int.compare oids = List.sort Int.compare oids2
-         | None -> false)
-       b1
-
-let find_binding t ?(exclude = []) (p : Process.t) ~available =
-  (* group argument specs by class, preserving declaration order *)
-  let by_class = Hashtbl.create 8 in
-  List.iter
-    (fun spec ->
-      let cur =
-        Option.value ~default:[] (Hashtbl.find_opt by_class spec.Process.arg_class)
-      in
-      Hashtbl.replace by_class spec.Process.arg_class (cur @ [ spec ]))
-    p.Process.args;
-  (* candidate assignments per class *)
-  let cap = 32 in
-  let class_assignments cls specs =
-    let oids = Option.value ~default:[] (List.assoc_opt cls available) in
-    (* assign specs in order; unbounded SETOF specs swallow the rest *)
-    let rec go specs remaining =
-      match specs with
-      | [] -> [ [] ]
-      | spec :: rest ->
-        let takes =
-          match spec.Process.card_max with
-          | Some m ->
-            let sizes =
-              List.init (m - spec.Process.card_min + 1) (fun i ->
-                  spec.Process.card_min + i)
-            in
-            List.concat_map (fun k -> subsets_k cap k remaining) sizes
-          | None ->
-            (* greedy: take everything still available *)
-            if List.length remaining >= spec.Process.card_min then
-              [ remaining ]
-            else []
-        in
-        List.concat_map
-          (fun chosen ->
-            let left = List.filter (fun o -> not (List.mem o chosen)) remaining in
-            List.map
-              (fun tail -> (spec.Process.arg_name, chosen) :: tail)
-              (go rest left))
-          takes
-        |> fun l ->
-        if List.length l > cap then List.filteri (fun i _ -> i < cap) l else l
-    in
-    go specs oids
-  in
-  let classes_in_order =
-    List.sort_uniq compare (List.map (fun a -> a.Process.arg_class) p.Process.args)
-  in
-  let rec product = function
-    | [] -> [ [] ]
-    | cls :: rest ->
-      let specs = Hashtbl.find by_class cls in
-      let here = class_assignments cls specs in
-      let tails = product rest in
-      List.concat_map
-        (fun assignment -> List.map (fun tail -> assignment @ tail) tails)
-        here
-      |> fun l ->
-      if List.length l > cap * 4 then List.filteri (fun i _ -> i < cap * 4) l
-      else l
-  in
-  let candidates = product classes_in_order in
-  let rec try_all last_err = function
-    | [] ->
-      Error
-        (Printf.sprintf "%s: no valid binding found (%s)" p.Process.proc_name
-           last_err)
-    | binding :: rest ->
-      if List.exists (binding_equal binding) exclude then
-        try_all "remaining candidates already used" rest
-      else (
-        match check_inputs t p binding with
-        | Ok () -> Ok binding
-        | Error e -> try_all e rest)
-  in
-  try_all "no candidates" candidates
-
-(* ------------------------------------------------------------------ *)
-(* Execution                                                           *)
-(* ------------------------------------------------------------------ *)
-
-let record_task t ~process ~version ~inputs ~params ~outputs ~output_class =
-  t.clock <- t.clock + 1;
-  let task =
-    { Task.task_id = t.next_task;
-      process;
-      process_version = version;
-      inputs;
-      params;
-      outputs;
-      output_class;
-      clock = t.clock }
-  in
-  t.next_task <- t.next_task + 1;
-  t.task_log <- task :: t.task_log;
-  Hashtbl.replace t.task_by_id task.Task.task_id task;
-  List.iter (fun oid -> Hashtbl.replace t.producer oid task) outputs;
-  List.iter
-    (fun oid ->
-      let cur = Option.value ~default:[] (Hashtbl.find_opt t.users oid) in
-      Hashtbl.replace t.users oid (task :: cur))
-    (Task.input_oids task);
-  t.counters.executions <- t.counters.executions + 1;
-  task
-
-let eval_primitive t (p : Process.t) inputs =
-  match Process.template p with
-  | None -> Error (p.Process.proc_name ^ ": not a primitive process")
-  | Some tmpl ->
-    let* () = check_cards p inputs in
-    let env = make_env t p inputs in
-    let* () = Template.check_assertions env tmpl in
-    let* pairs = Template.eval_mappings env tmpl in
-    (* the output class must be fully mapped *)
-    (match find_class t p.Process.output_class with
-     | None ->
-       Error
-         (Printf.sprintf "%s: unknown output class %s" p.Process.proc_name
-            p.Process.output_class)
-     | Some def ->
-       let missing =
-         List.filter
-           (fun a -> not (List.mem_assoc a pairs))
-           (Schema.attr_names def)
-       in
-       if missing <> [] then
-         Error
-           (Printf.sprintf "%s: mappings missing for attribute(s) %s"
-              p.Process.proc_name
-              (String.concat ", " missing))
-       else Ok pairs)
-
-let execute_primitive t (p : Process.t) inputs =
-  let* pairs = eval_primitive t p inputs in
-  let* oid = insert_object t ~cls:p.Process.output_class pairs in
-  List.iter
-    (fun (_, v) ->
-      t.counters.pixels_processed <- t.counters.pixels_processed + count_pixels v)
-    pairs;
-  Ok
-    (record_task t ~process:p.Process.proc_name ~version:p.Process.version
-       ~inputs ~params:p.Process.params ~outputs:[ oid ]
-       ~output_class:p.Process.output_class)
-
-(* all recorded outputs must still be stored for a cached task to be
-   served (guards callers that bypass delete_object) *)
-let outputs_live t (task : Task.t) =
-  task.Task.outputs <> []
-  && List.for_all (fun oid -> Hashtbl.mem t.oid_class oid) task.Task.outputs
-
-let rec execute_process t (p : Process.t) ~inputs =
-  let key = cache_key_of p inputs in
-  match Hashtbl.find_opt t.result_cache key with
-  | Some task when outputs_live t task ->
-    t.counters.cache_hits <- t.counters.cache_hits + 1;
-    Ok task
-  | stale ->
-    if stale <> None then Hashtbl.remove t.result_cache key;
-    t.counters.cache_misses <- t.counters.cache_misses + 1;
-    let result = execute_uncached t p ~inputs in
-    (match result with
-     | Ok task -> Hashtbl.replace t.result_cache key task
-     | Error _ -> ());
-    result
-
-and execute_uncached t (p : Process.t) ~inputs =
-  match p.Process.kind with
-  | Process.Primitive _ -> execute_primitive t p inputs
-  | Process.Compound steps ->
-    (* expand: run each step's (latest) sub-process, threading outputs *)
-    let rec run acc_outputs last_task = function
-      | [] ->
-        (match last_task with
-         | Some task -> Ok task
-         | None -> Error (p.Process.proc_name ^ ": compound with no steps"))
-      | step :: rest ->
-        (match find_process t step.Process.step_process with
-         | None ->
-           Error
-             (Printf.sprintf "%s: unknown sub-process %s" p.Process.proc_name
-                step.Process.step_process)
-         | Some sub ->
-           let* sub_inputs =
-             List.fold_left
-               (fun acc (arg, input) ->
-                 let* acc = acc in
-                 match input with
-                 | Process.From_arg a ->
-                   (match List.assoc_opt a inputs with
-                    | Some oids -> Ok ((arg, oids) :: acc)
-                    | None ->
-                      Error
-                        (Printf.sprintf "%s: argument %s not bound"
-                           p.Process.proc_name a))
-                 | Process.From_step j ->
-                   (match List.nth_opt acc_outputs j with
-                    | Some oids -> Ok ((arg, oids) :: acc)
-                    | None ->
-                      Error
-                        (Printf.sprintf "%s: step %d output unavailable"
-                           p.Process.proc_name j)))
-               (Ok []) step.Process.step_inputs
-           in
-           let* task = execute_process t sub ~inputs:(List.rev sub_inputs) in
-           run
-             (acc_outputs @ [ task.Task.outputs ])
-             (Some task) rest)
-    in
-    run [] None steps
-
-let recompute_task t (task : Task.t) =
-  match
-    find_process t ~version:task.Task.process_version task.Task.process
-  with
-  | None ->
-    Error
-      (Printf.sprintf "process %s v%d no longer known" task.Task.process
-         task.Task.process_version)
-  | Some p -> eval_primitive t p task.Task.inputs
-
-(* ------------------------------------------------------------------ *)
-(* Task log                                                            *)
-(* ------------------------------------------------------------------ *)
+(* objects *)
+let insert_object t ~cls pairs = Obj_store.insert t.objects ~cls pairs
 
 let insert_object_with_oid t ~cls oid pairs =
-  match find_class t cls with
-  | None -> Error (Printf.sprintf "unknown class %s" cls)
-  | Some def ->
-    let attrs = Schema.attr_names def in
-    let missing = List.filter (fun a -> not (List.mem_assoc a pairs)) attrs in
-    if missing <> [] then
-      Error
-        (Printf.sprintf "%s: missing attribute(s) %s" cls
-           (String.concat ", " missing))
-    else begin
-      let values = List.map (fun a -> List.assoc a pairs) attrs in
-      match Store.insert_with_oid t.store ~table:cls oid values with
-      | Error _ as e -> e
-      | Ok () ->
-        Hashtbl.replace t.oid_class oid cls;
-        Ok ()
-    end
+  Obj_store.insert_with_oid t.objects ~cls oid pairs
 
-let restore_task t (task : Task.t) =
-  if Hashtbl.mem t.task_by_id task.Task.task_id then
-    Error (Printf.sprintf "task #%d already present" task.Task.task_id)
-  else begin
-    t.task_log <- task :: t.task_log;
-    Hashtbl.replace t.task_by_id task.Task.task_id task;
-    List.iter (fun oid -> Hashtbl.replace t.producer oid task) task.Task.outputs;
-    List.iter
-      (fun oid ->
-        let cur = Option.value ~default:[] (Hashtbl.find_opt t.users oid) in
-        Hashtbl.replace t.users oid (task :: cur))
-      (Task.input_oids task);
-    if task.Task.task_id >= t.next_task then t.next_task <- task.Task.task_id + 1;
-    if task.Task.clock > t.clock then t.clock <- task.Task.clock;
-    Ok ()
-  end
+let object_tuple t ~cls oid = Obj_store.tuple t.objects ~cls oid
+let object_attr t ~cls oid attr = Obj_store.attr t.objects ~cls oid attr
+let objects_of_class t cls = Obj_store.oids_of_class t.objects cls
+let class_of_object t oid = Obj_store.class_of t.objects oid
+let count_objects t cls = Obj_store.count t.objects cls
+let delete_object t ~cls oid = Obj_store.delete t.objects ~cls oid
+
+(* processes *)
+let define_process t p = Proc_registry.define t.procs p
+let find_process t ?version name = Proc_registry.find t.procs ?version name
+let process_versions t name = Proc_registry.versions t.procs name
+let processes t = Proc_registry.latest t.procs
+let all_process_versions t = Proc_registry.all_versions t.procs
+
+(* execution *)
+let execute_process t p ~inputs = Deriver.execute_process t.deriver p ~inputs
+let recompute_task t task = Deriver.recompute_task t.deriver task
+
+let find_binding t ?exclude p ~available =
+  Deriver.find_binding t.deriver ?exclude p ~available
 
 let record_task_raw t ~process ~version ~inputs ~params ~outputs ~output_class =
-  record_task t ~process ~version ~inputs ~params ~outputs ~output_class
+  Provenance.record_task t.prov ~process ~version ~inputs ~params ~outputs
+    ~output_class
 
-let tasks t = List.rev t.task_log
-let find_task t id = Hashtbl.find_opt t.task_by_id id
-let task_producing t oid = Hashtbl.find_opt t.producer oid
+let restore_task t task = Provenance.restore_task t.prov task
 
-let tasks_using t oid =
-  Option.value ~default:[] (Hashtbl.find_opt t.users oid) |> List.rev
+(* task log *)
+let tasks t = Provenance.tasks t.prov
+let find_task t id = Provenance.find_task t.prov id
+let task_producing t oid = Provenance.task_producing t.prov oid
+let tasks_using t oid = Provenance.tasks_using t.prov oid
 
-(* ------------------------------------------------------------------ *)
-(* Derivation net                                                      *)
-(* ------------------------------------------------------------------ *)
+(* result cache *)
+let cache_stats t = Deriver.cache_stats t.deriver
+let clear_cache t = Deriver.clear_cache t.deriver
+let invalidate_cache_process t name = Deriver.invalidate_process t.deriver name
 
-let build_net t =
-  let net = Net.create () in
-  let place_tbl = Hashtbl.create 32 in
-  let class_tbl = Hashtbl.create 32 in
-  List.iter
-    (fun cls ->
-      let p = Net.add_place net ~name:cls.Schema.c_name in
-      Hashtbl.add place_tbl cls.Schema.c_name p;
-      Hashtbl.add class_tbl p cls.Schema.c_name)
-    (classes t);
-  let trans_tbl = Hashtbl.create 32 in
-  (* Transitions get ids in insertion order and Backchain breaks cost
-     ties by the lowest id, so install the processes that classes
-     declare as their DERIVED BY before the rest. *)
-  let declared =
-    List.filter_map Schema.derived_by (classes t)
-  in
-  let procs = processes t in
-  let preferred, others =
-    List.partition
-      (fun p -> List.mem p.Process.proc_name declared)
-      procs
-  in
-  List.iter
-    (fun proc ->
-      if Process.is_primitive proc then begin
-        (* group args by class: threshold = sum of card_min *)
-        let thresholds = Hashtbl.create 4 in
-        List.iter
-          (fun a ->
-            let cur =
-              Option.value ~default:0
-                (Hashtbl.find_opt thresholds a.Process.arg_class)
-            in
-            Hashtbl.replace thresholds a.Process.arg_class
-              (cur + a.Process.card_min))
-          proc.Process.args;
-        let inputs =
-          Hashtbl.fold
-            (fun cls k acc ->
-              match Hashtbl.find_opt place_tbl cls with
-              | Some p -> (p, k) :: acc
-              | None -> acc)
-            thresholds []
-          |> List.sort compare
-        in
-        match Hashtbl.find_opt place_tbl proc.Process.output_class with
-        | None -> ()
-        | Some out_place ->
-          let guard binding =
-            let available =
-              List.filter_map
-                (fun (place, toks) ->
-                  Option.map
-                    (fun cls -> (cls, toks))
-                    (Hashtbl.find_opt class_tbl place))
-                binding
-            in
-            Result.is_ok (find_binding t proc ~available)
-          in
-          (match
-             Net.add_transition net ~name:proc.Process.proc_name ~inputs
-               ~outputs:[ out_place ] ~guard ()
-           with
-           | Ok tid -> Hashtbl.add trans_tbl tid (Process.key proc)
-           | Error _ -> ())
-      end)
-    (preferred @ others);
-  { net;
-    place_of_class = Hashtbl.find_opt place_tbl;
-    class_of_place = Hashtbl.find_opt class_tbl;
-    process_of_transition = Hashtbl.find_opt trans_tbl }
+let invalidate_cache_class t cls =
+  (* announced as a mutation; the deriver's subscriber does the work *)
+  Events.emit t.bus (Events.Class_mutated cls)
 
+(* derivation net *)
 let derivation_net t =
-  match t.net_cache with
-  | Some v -> v
-  | None ->
-    let v = build_net t in
-    t.net_cache <- Some v;
-    v
+  Provenance.derivation_net t.prov
+    ~classes:(fun () -> classes t)
+    ~processes:(fun () -> processes t)
+    ~guard:(fun p ~available ->
+      Result.is_ok (Deriver.find_binding t.deriver p ~available))
 
 let current_marking t =
   let view = derivation_net t in

@@ -1,9 +1,12 @@
 (** The Gaea kernel: the metadata manager of Fig 1.
 
-    Owns the three semantic layers — the system-level ADT registry, the
-    derivation-level class/process/task catalogs, and the high-level
-    concept hierarchy — plus the backing store (the Postgres role) and
-    the class-derivation Petri net.
+    A thin facade over the subsystem modules — {!Catalog} (class defs +
+    schema), {!Obj_store} (object CRUD), {!Proc_registry} (process
+    versions), {!Deriver} (assertions, mappings, result cache) and
+    {!Provenance} (tasks, lineage, net views) — composed over one
+    shared {!Events.bus}.  Cross-cutting state (execution counters,
+    cache invalidation, net-view staleness) is maintained by bus
+    subscribers, not by hand-threaded calls.
 
     Concurrency: a kernel is a single-threaded mutable object. *)
 
@@ -13,6 +16,17 @@ val create : unit -> t
 (** Fresh kernel with the built-in registry ({!Gaea_adt.Registry.with_builtins})
     and an empty store. *)
 
+(** {2 Events} *)
+
+module Events = Events
+
+val bus : t -> Events.bus
+(** The kernel's event bus; subscribe for observability. *)
+
+val event_log : t -> (int * Events.event) list
+(** Recent events (bounded ring buffer), oldest first, with sequence
+    numbers.  Dumpable from the CLI via [SHOW EVENTS]. *)
+
 (** {2 System level} *)
 
 val registry : t -> Gaea_adt.Registry.t
@@ -20,7 +34,7 @@ val store : t -> Gaea_storage.Store.t
 
 (** {2 Classes (derivation level, static)} *)
 
-val define_class : t -> Schema.t -> (unit, string) result
+val define_class : t -> Schema.t -> (unit, Gaea_error.t) result
 (** Creates the backing table.  Errors on duplicate class names or if a
     [Derived] class names a process that is neither defined yet nor
     defined later (checked lazily at derivation time). *)
@@ -35,7 +49,7 @@ val class_table : t -> string -> Gaea_storage.Table.t option
 
 val insert_object :
   t -> cls:string -> (string * Gaea_adt.Value.t) list
-  -> (Gaea_storage.Oid.t, string) result
+  -> (Gaea_storage.Oid.t, Gaea_error.t) result
 (** Attribute-name/value pairs; every class attribute must be given
     exactly once.  Base-data ingestion and derivation both land here. *)
 
@@ -45,7 +59,13 @@ val object_attr :
 val objects_of_class : t -> string -> Gaea_storage.Oid.t list
 val class_of_object : t -> Gaea_storage.Oid.t -> string option
 val count_objects : t -> string -> int
-val delete_object : t -> cls:string -> Gaea_storage.Oid.t -> bool
+
+val delete_object :
+  t -> cls:string -> Gaea_storage.Oid.t -> (unit, Gaea_error.t) result
+(** [Error (Unknown_object _)] when no class owns the oid,
+    [Error (Wrong_class _)] when it belongs to a different class than
+    named.  Deletion invalidates dependent cache entries (via the
+    [Object_deleted] event). *)
 
 (** {2 Concepts (high level)} *)
 
@@ -53,7 +73,7 @@ val concepts : t -> Concept.t
 
 (** {2 Processes} *)
 
-val define_process : t -> Process.t -> (unit, string) result
+val define_process : t -> Process.t -> (unit, Gaea_error.t) result
 (** Registers under (name, version); errors on duplicates, unknown
     argument/output classes, or (for compounds) unknown sub-processes. *)
 
@@ -72,7 +92,7 @@ val all_process_versions : t -> Process.t list
 
 val execute_process :
   t -> Process.t -> inputs:(string * Gaea_storage.Oid.t list) list
-  -> (Task.t, string) result
+  -> (Task.t, Gaea_error.t) result
 (** Bind the given objects to the process arguments, check cardinalities
     and assertions, evaluate the mappings, insert the output object and
     record the task.  Compound processes are expanded: each primitive
@@ -87,7 +107,7 @@ val execute_process :
     object is deleted. *)
 
 val recompute_task :
-  t -> Task.t -> ((string * Gaea_adt.Value.t) list, string) result
+  t -> Task.t -> ((string * Gaea_adt.Value.t) list, Gaea_error.t) result
 (** Re-run the task's process on its recorded inputs {e without}
     inserting — the reproducibility check. Only primitive-process tasks
     (every recorded task is one). *)
@@ -95,7 +115,7 @@ val recompute_task :
 val find_binding :
   t -> ?exclude:(string * Gaea_storage.Oid.t list) list list
   -> Process.t -> available:(string * Gaea_storage.Oid.t list) list
-  -> ((string * Gaea_storage.Oid.t list) list, string) result
+  -> ((string * Gaea_storage.Oid.t list) list, Gaea_error.t) result
 (** Distribute candidate objects (keyed by {e class} name) over the
     process's arguments so that cardinalities and assertions hold.
     Tries permutations when several arguments draw from one class (the
@@ -105,11 +125,11 @@ val find_binding :
 
 val insert_object_with_oid :
   t -> cls:string -> Gaea_storage.Oid.t -> (string * Gaea_adt.Value.t) list
-  -> (unit, string) result
+  -> (unit, Gaea_error.t) result
 (** Insert under a caller-chosen OID (kernel restore); advances the
     store's allocator past it. *)
 
-val restore_task : t -> Task.t -> (unit, string) result
+val restore_task : t -> Task.t -> (unit, Gaea_error.t) result
 (** Append a previously recorded task verbatim (kernel restore): indexes
     it and advances the task counter and logical clock past it.  Errors
     on duplicate task ids. *)
@@ -136,7 +156,7 @@ val tasks_using : t -> Gaea_storage.Oid.t -> Task.t list
 
 (** {2 Derivation net} *)
 
-type net_view = {
+type net_view = Provenance.net_view = {
   net : Gaea_petri.Net.t;
   place_of_class : string -> Gaea_petri.Net.place option;
   class_of_place : Gaea_petri.Net.place -> string option;
@@ -147,15 +167,15 @@ type net_view = {
 val derivation_net : t -> net_view
 (** The class-derivation diagram: a place per class, a transition per
     latest-version primitive process (compounds contribute their
-    expansion).  Rebuilt when classes or processes change; cached
-    otherwise. *)
+    expansion).  Rebuilt when classes or processes change (invalidated
+    by bus subscription); cached otherwise. *)
 
 val current_marking : t -> Gaea_petri.Marking.t
 (** Token = object OID at its class's place. *)
 
 (** {2 Bookkeeping} *)
 
-type counters = {
+type counters = Metrics.t = {
   mutable executions : int;     (** process executions (tasks recorded) *)
   mutable retrievals : int;     (** direct object retrievals *)
   mutable interpolations : int;
@@ -171,7 +191,7 @@ val clock : t -> int
 
 (** {2 Derived-object result cache} *)
 
-type cache_stats = {
+type cache_stats = Deriver.cache_stats = {
   hits : int;
   misses : int;
   entries : int;          (** live memoized results *)
@@ -185,11 +205,12 @@ val clear_cache : t -> unit
 
 val invalidate_cache_process : t -> string -> unit
 (** Drop memoized results of the named process and of every compound
-    process that (transitively) expands to it.  Called automatically
-    when {!define_process} adds a new version of an existing name. *)
+    process that (transitively) expands to it.  The [Process_versioned]
+    event triggers the same invalidation automatically when
+    {!define_process} adds a new version of an existing name. *)
 
 val invalidate_cache_class : t -> string -> unit
-(** Drop memoized results that read from or wrote to the named class —
-    the hook for callers that mutate a class's objects behind the
-    kernel's back (bulk loads, external edits).  {!delete_object}
-    already invalidates per-object. *)
+(** Emit [Class_mutated]: drops memoized results that read from or
+    wrote to the named class — the hook for callers that mutate a
+    class's objects behind the kernel's back (bulk loads, external
+    edits).  {!delete_object} already invalidates per-object. *)

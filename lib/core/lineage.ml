@@ -157,8 +157,8 @@ let verify_task k task =
            pairs
        in
        Ok all_equal
-     | [] -> Error "task has no outputs"
-     | _ -> Error "multi-output tasks not supported")
+     | [] -> Gaea_error.err "task has no outputs"
+     | _ -> Gaea_error.err "multi-output tasks not supported")
 
 let verify_object k oid =
   match Kernel.task_producing k oid with

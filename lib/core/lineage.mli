@@ -39,12 +39,12 @@ val compare_derivations :
 val explain : Kernel.t -> Gaea_storage.Oid.t -> string
 (** Multi-line rendering of the derivation tree. *)
 
-val verify_task : Kernel.t -> Task.t -> (bool, string) result
+val verify_task : Kernel.t -> Task.t -> (bool, Gaea_error.t) result
 (** Recompute the task and compare every produced attribute with what is
     stored — exact reproducibility ("experiments can be reproduced,
     allowing rapid and reliable confirmation of results"). *)
 
-val verify_object : Kernel.t -> Gaea_storage.Oid.t -> (bool, string) result
+val verify_object : Kernel.t -> Gaea_storage.Oid.t -> (bool, Gaea_error.t) result
 (** [Ok true] for base data (nothing to verify) and for faithfully
     reproducible derived objects. *)
 

@@ -1,0 +1,27 @@
+type t = {
+  mutable executions : int;
+  mutable retrievals : int;
+  mutable interpolations : int;
+  mutable pixels_processed : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+let create () =
+  { executions = 0; retrievals = 0; interpolations = 0; pixels_processed = 0;
+    cache_hits = 0; cache_misses = 0 }
+
+let reset t =
+  t.executions <- 0;
+  t.retrievals <- 0;
+  t.interpolations <- 0;
+  t.pixels_processed <- 0;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0
+
+let attach bus t =
+  Events.subscribe bus ~name:"metrics" (function
+    | Events.Task_recorded _ -> t.executions <- t.executions + 1
+    | Events.Cache_hit _ -> t.cache_hits <- t.cache_hits + 1
+    | Events.Cache_miss _ -> t.cache_misses <- t.cache_misses + 1
+    | _ -> ())

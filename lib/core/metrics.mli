@@ -1,0 +1,23 @@
+(** Execution counters, fed by the event bus.
+
+    [executions], [cache_hits] and [cache_misses] are bumped by an
+    event-bus subscriber (see {!attach}); [retrievals],
+    [interpolations] and [pixels_processed] are still mutated directly
+    by the derivation manager and the deriver, as they measure work
+    volumes no event carries. *)
+
+type t = {
+  mutable executions : int;  (** process executions (tasks recorded) *)
+  mutable retrievals : int;  (** direct object retrievals *)
+  mutable interpolations : int;
+  mutable pixels_processed : int;  (** image pixels written by mappings *)
+  mutable cache_hits : int;  (** executions served from the result cache *)
+  mutable cache_misses : int;  (** executions that actually ran *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val attach : Events.bus -> t -> unit
+(** Subscribe (as ["metrics"]) to [Task_recorded] → [executions],
+    [Cache_hit] → [cache_hits], [Cache_miss] → [cache_misses]. *)

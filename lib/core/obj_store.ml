@@ -1,0 +1,95 @@
+module Store = Gaea_storage.Store
+module Table = Gaea_storage.Table
+module Oid = Gaea_storage.Oid
+
+type t = {
+  store : Store.t;
+  catalog : Catalog.t;
+  oid_class : (Oid.t, string) Hashtbl.t;
+  bus : Events.bus;
+}
+
+let create ~store ~catalog ~bus =
+  { store; catalog; oid_class = Hashtbl.create 256; bus }
+
+let insert t ~cls pairs =
+  match Catalog.find t.catalog cls with
+  | None -> Error (Gaea_error.Unknown_class cls)
+  | Some def ->
+    let attrs = Schema.attr_names def in
+    let missing = List.filter (fun a -> not (List.mem_assoc a pairs)) attrs in
+    let extra = List.filter (fun (a, _) -> not (List.mem a attrs)) pairs in
+    if missing <> [] then
+      Gaea_error.err
+        (Printf.sprintf "%s: missing attribute(s) %s" cls
+           (String.concat ", " missing))
+    else if extra <> [] then
+      Gaea_error.err
+        (Printf.sprintf "%s: unknown attribute(s) %s" cls
+           (String.concat ", " (List.map fst extra)))
+    else begin
+      let values = List.map (fun a -> List.assoc a pairs) attrs in
+      match Store.insert_values t.store ~table:cls values with
+      | Error e -> Error (Gaea_error.Storage_error e)
+      | Ok oid ->
+        Hashtbl.replace t.oid_class oid cls;
+        Events.emit t.bus (Events.Object_inserted { cls; oid });
+        Ok oid
+    end
+
+let insert_with_oid t ~cls oid pairs =
+  match Catalog.find t.catalog cls with
+  | None -> Error (Gaea_error.Unknown_class cls)
+  | Some def ->
+    let attrs = Schema.attr_names def in
+    let missing = List.filter (fun a -> not (List.mem_assoc a pairs)) attrs in
+    if missing <> [] then
+      Gaea_error.err
+        (Printf.sprintf "%s: missing attribute(s) %s" cls
+           (String.concat ", " missing))
+    else begin
+      let values = List.map (fun a -> List.assoc a pairs) attrs in
+      match Store.insert_with_oid t.store ~table:cls oid values with
+      | Error e -> Error (Gaea_error.Storage_error e)
+      | Ok () ->
+        Hashtbl.replace t.oid_class oid cls;
+        Ok ()
+    end
+
+let delete t ~cls oid =
+  match Hashtbl.find_opt t.oid_class oid with
+  | None -> Error (Gaea_error.Unknown_object oid)
+  | Some actual when actual <> cls -> Error (Gaea_error.Wrong_class { oid; cls })
+  | Some _ ->
+    if Store.delete t.store ~table:cls oid then begin
+      Hashtbl.remove t.oid_class oid;
+      Events.emit t.bus (Events.Object_deleted { cls; oid });
+      Ok ()
+    end
+    else
+      (* oid_class said it was there: the table disagrees *)
+      Error
+        (Gaea_error.Storage_error
+           (Printf.sprintf "delete of %s #%d failed" cls oid))
+
+let tuple t ~cls oid = Store.get t.store ~table:cls oid
+
+let attr t ~cls oid attr =
+  match Catalog.table t.catalog cls with
+  | None -> None
+  | Some tab -> Table.get_attr tab oid attr
+
+let oids_of_class t cls =
+  match Catalog.table t.catalog cls with
+  | None -> []
+  | Some tab ->
+    List.rev (Table.fold tab ~init:[] ~f:(fun acc oid _ -> oid :: acc))
+
+let class_of t oid = Hashtbl.find_opt t.oid_class oid
+
+let count t cls =
+  match Catalog.table t.catalog cls with
+  | None -> 0
+  | Some tab -> Table.row_count tab
+
+let mem t oid = Hashtbl.mem t.oid_class oid

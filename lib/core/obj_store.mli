@@ -1,0 +1,38 @@
+(** Object CRUD over the catalog's tables, plus the oid → class map.
+
+    Emits [Object_inserted] / [Object_deleted] on the bus; the result
+    cache invalidates itself on deletions by subscription. *)
+
+module Oid = Gaea_storage.Oid
+
+type t
+
+val create :
+  store:Gaea_storage.Store.t -> catalog:Catalog.t -> bus:Events.bus -> t
+
+val insert :
+  t -> cls:string -> (string * Gaea_adt.Value.t) list
+  -> (Oid.t, Gaea_error.t) result
+(** Attribute-name/value pairs; every class attribute must be given
+    exactly once.  Emits [Object_inserted]. *)
+
+val insert_with_oid :
+  t -> cls:string -> Oid.t -> (string * Gaea_adt.Value.t) list
+  -> (unit, Gaea_error.t) result
+(** Insert under a caller-chosen OID (kernel restore); advances the
+    store's allocator past it.  Event-silent: restores must not look
+    like fresh mutations to subscribers. *)
+
+val delete : t -> cls:string -> Oid.t -> (unit, Gaea_error.t) result
+(** [Error (Unknown_object oid)] when no class owns the oid,
+    [Error (Wrong_class _)] when it exists under a different class.
+    Emits [Object_deleted] on success. *)
+
+val tuple : t -> cls:string -> Oid.t -> Gaea_storage.Tuple.t option
+val attr : t -> cls:string -> Oid.t -> string -> Gaea_adt.Value.t option
+val oids_of_class : t -> string -> Oid.t list
+val class_of : t -> Oid.t -> string option
+val count : t -> string -> int
+
+val mem : t -> Oid.t -> bool
+(** Whether the oid is live (present in the oid → class map). *)

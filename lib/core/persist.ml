@@ -10,17 +10,20 @@ let parse_int = function
   | Sexp.Atom a ->
     (match int_of_string_opt a with
      | Some i -> Ok i
-     | None -> Error ("not an int: " ^ a))
-  | Sexp.List _ -> Error "expected int atom"
+     | None -> Gaea_error.err ("not an int: " ^ a))
+  | Sexp.List _ -> Gaea_error.err "expected int atom"
 
 let atom_of = function
   | Sexp.Atom a -> Ok a
-  | Sexp.List _ -> Error "expected atom"
+  | Sexp.List _ -> Gaea_error.err "expected atom"
 
 let value_to_sexp v =
   Result.get_ok (Sexp.of_string (Value.serialize v))
 
-let value_of_sexp s = Value.deserialize (Sexp.to_string s)
+let value_of_sexp s =
+  match Value.deserialize (Sexp.to_string s) with
+  | Ok v -> Ok v
+  | Error e -> Error (Gaea_error.Parse_error e)
 
 let map_m f items =
   List.fold_left
@@ -59,14 +62,14 @@ let class_of_sexp = function
           | Sexp.List [ Sexp.Atom n; Sexp.Atom ty ] ->
             (match Vtype.of_string ty with
              | Some ty -> Ok (n, ty)
-             | None -> Error ("unknown type " ^ ty))
-          | _ -> Error "malformed attribute")
+             | None -> Gaea_error.err ("unknown type " ^ ty))
+          | _ -> Gaea_error.err "malformed attribute")
         attrs
     in
     let opt = function "-" -> None | s -> Some s in
     Schema.define ~name ~doc ~attributes ?spatial:(opt sp) ?temporal:(opt tp)
       ?derived_by:(opt der) ()
-  | _ -> Error "malformed class"
+  | _ -> Gaea_error.err "malformed class"
 
 (* --- template ------------------------------------------------------- *)
 
@@ -89,7 +92,7 @@ let rec expr_of_sexp = function
     Result.map (fun e -> Template.Anyof e) (expr_of_sexp e)
   | Sexp.List (Sexp.Atom "apply" :: Sexp.Atom op :: args) ->
     Result.map (fun args -> Template.Apply (op, args)) (map_m expr_of_sexp args)
-  | _ -> Error "malformed expression"
+  | _ -> Gaea_error.err "malformed expression"
 
 let assertion_to_sexp = function
   | Template.Expr_true e -> Sexp.list [ Sexp.atom "expr"; expr_to_sexp e ]
@@ -111,7 +114,7 @@ let assertion_of_sexp = function
     Result.map (fun n -> Template.Card_eq (a, n)) (parse_int n)
   | Sexp.List [ Sexp.Atom "card-ge"; Sexp.Atom a; n ] ->
     Result.map (fun n -> Template.Card_ge (a, n)) (parse_int n)
-  | _ -> Error "malformed assertion"
+  | _ -> Gaea_error.err "malformed assertion"
 
 let template_to_sexp (t : Template.t) =
   Sexp.list
@@ -131,11 +134,11 @@ let template_of_sexp = function
         (function
           | Sexp.List [ Sexp.Atom target; rhs ] ->
             Result.map (fun rhs -> { Template.target; rhs }) (expr_of_sexp rhs)
-          | _ -> Error "malformed mapping")
+          | _ -> Gaea_error.err "malformed mapping")
         mappings
     in
     Ok (Template.make ~assertions ~mappings)
-  | _ -> Error "malformed template"
+  | _ -> Gaea_error.err "malformed template"
 
 (* --- process -------------------------------------------------------- *)
 
@@ -159,7 +162,7 @@ let arg_of_sexp = function
     in
     if kind = "scalar" then Ok (Process.scalar_arg name cls)
     else Ok (Process.setof_arg ~card_min ?card_max name cls)
-  | _ -> Error "malformed argument"
+  | _ -> Gaea_error.err "malformed argument"
 
 let process_to_sexp (p : Process.t) =
   let kind =
@@ -210,7 +213,7 @@ let process_of_sexp = function
         (function
           | Sexp.List [ Sexp.Atom n; v ] ->
             Result.map (fun v -> (n, v)) (value_of_sexp v)
-          | _ -> Error "malformed parameter")
+          | _ -> Gaea_error.err "malformed parameter")
         params
     in
     let* base =
@@ -233,15 +236,15 @@ let process_of_sexp = function
                         Result.map
                           (fun i -> (arg, Process.From_step i))
                           (parse_int i)
-                      | _ -> Error "malformed step input")
+                      | _ -> Gaea_error.err "malformed step input")
                     inputs
                 in
                 Ok { Process.step_process = sub; step_inputs }
-              | _ -> Error "malformed step")
+              | _ -> Gaea_error.err "malformed step")
             steps
         in
         Process.define_compound ~name ~doc ~output_class:output ~args ~steps ()
-      | _ -> Error "malformed process kind"
+      | _ -> Gaea_error.err "malformed process kind"
     in
     (* restore identity fields the public constructors normalize *)
     let* derived_from =
@@ -249,10 +252,10 @@ let process_of_sexp = function
       | Sexp.Atom "-" -> Ok None
       | Sexp.List [ Sexp.Atom n; v ] ->
         Result.map (fun v -> Some (n, v)) (parse_int v)
-      | _ -> Error "malformed derived_from"
+      | _ -> Gaea_error.err "malformed derived_from"
     in
     Ok (name, version, derived_from, base)
-  | _ -> Error "malformed process"
+  | _ -> Gaea_error.err "malformed process"
 
 (* Process.t is private; to restore version/derived_from we replay the
    edit history shape: define the base then re-edit.  Simpler and exact:
@@ -302,7 +305,7 @@ let restore_concepts kernel = function
             let* members = map_m atom_of members in
             let* parents = map_m atom_of parents in
             Ok (name, members, parents, doc)
-          | _ -> Error "malformed concept")
+          | _ -> Gaea_error.err "malformed concept")
         entries
     in
     let* () =
@@ -321,7 +324,7 @@ let restore_concepts kernel = function
             Concept.add_isa concepts ~sub:name ~super)
           (Ok ()) parents)
       (Ok ()) parsed
-  | _ -> Error "malformed concepts section"
+  | _ -> Gaea_error.err "malformed concepts section"
 
 (* --- objects -------------------------------------------------------- *)
 
@@ -344,7 +347,7 @@ let objects_to_sexp kernel (c : Schema.t) =
 let restore_objects kernel = function
   | Sexp.List (Sexp.Atom "objects" :: Sexp.Atom cls :: rows) ->
     (match Kernel.find_class kernel cls with
-     | None -> Error ("objects for unknown class " ^ cls)
+     | None -> Gaea_error.err ("objects for unknown class " ^ cls)
      | Some def ->
        let attrs = Schema.attr_names def in
        List.fold_left
@@ -356,9 +359,9 @@ let restore_objects kernel = function
              let* values = map_m value_of_sexp values in
              Kernel.insert_object_with_oid kernel ~cls oid
                (List.combine attrs values)
-           | _ -> Error "malformed object row")
+           | _ -> Gaea_error.err "malformed object row")
          (Ok ()) rows)
-  | _ -> Error "malformed objects section"
+  | _ -> Gaea_error.err "malformed objects section"
 
 (* --- whole kernel ---------------------------------------------------- *)
 
@@ -380,7 +383,11 @@ let save kernel =
   Buffer.contents buf
 
 let load text =
-  let* sexps = Sexp.of_string_many text in
+  let* sexps =
+    match Sexp.of_string_many text with
+    | Ok sexps -> Ok sexps
+    | Error e -> Error (Gaea_error.Parse_error e)
+  in
   let kernel = Kernel.create () in
   (* compound processes reference their primitive sub-processes, so
      restore processes primitives-first regardless of file order *)
@@ -422,7 +429,7 @@ let load text =
           let* task = Task.of_sexp sexp in
           Kernel.restore_task kernel task
         | Sexp.List (Sexp.Atom ("class" | "concepts" | "process") :: _) -> Ok ()
-        | _ -> Error "unknown section")
+        | _ -> Gaea_error.err "unknown section")
       (Ok ()) sexps
   in
   Ok kernel
@@ -435,7 +442,7 @@ let save_to_file kernel path =
       (fun () ->
         output_string oc (save kernel);
         Ok ())
-  with Sys_error e -> Error e
+  with Sys_error e -> Error (Gaea_error.Io_error e)
 
 let load_from_file path =
   try
@@ -443,4 +450,4 @@ let load_from_file path =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> load (really_input_string ic (in_channel_length ic)))
-  with Sys_error e -> Error e
+  with Sys_error e -> Error (Gaea_error.Io_error e)

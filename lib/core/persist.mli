@@ -12,10 +12,10 @@
 
 val save : Kernel.t -> string
 
-val load : string -> (Kernel.t, string) result
+val load : string -> (Kernel.t, Gaea_error.t) result
 (** Rebuilds a fresh kernel (built-in registry) and replays the saved
     metadata and data.  After loading, every saved task must verify:
     [Lineage.verify_object] on any object reproduces it exactly. *)
 
-val save_to_file : Kernel.t -> string -> (unit, string) result
-val load_from_file : string -> (Kernel.t, string) result
+val save_to_file : Kernel.t -> string -> (unit, Gaea_error.t) result
+val load_from_file : string -> (Kernel.t, Gaea_error.t) result

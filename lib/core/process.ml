@@ -40,23 +40,23 @@ let setof_arg ?(card_min = 1) ?card_max name cls =
   { arg_name = name; arg_class = cls; setof = true; card_min; card_max }
 
 let validate_args name args =
-  if args = [] then Error (name ^ ": a process needs at least one argument")
+  if args = [] then Gaea_error.err (name ^ ": a process needs at least one argument")
   else
     let rec check seen = function
       | [] -> Ok ()
       | a :: rest ->
-        if a.arg_name = "" then Error (name ^ ": empty argument name")
+        if a.arg_name = "" then Gaea_error.err (name ^ ": empty argument name")
         else if List.mem a.arg_name seen then
-          Error (Printf.sprintf "%s: duplicate argument %s" name a.arg_name)
+          Gaea_error.err (Printf.sprintf "%s: duplicate argument %s" name a.arg_name)
         else if a.card_min < 1 then
-          Error (Printf.sprintf "%s: %s: card_min < 1" name a.arg_name)
+          Gaea_error.err (Printf.sprintf "%s: %s: card_min < 1" name a.arg_name)
         else if
           match a.card_max with
           | Some m -> m < a.card_min
           | None -> false
-        then Error (Printf.sprintf "%s: %s: card_max < card_min" name a.arg_name)
+        then Gaea_error.err (Printf.sprintf "%s: %s: card_max < card_min" name a.arg_name)
         else if (not a.setof) && a.card_min <> 1 then
-          Error
+          Gaea_error.err
             (Printf.sprintf "%s: %s: scalar argument with cardinality" name
                a.arg_name)
         else check (a.arg_name :: seen) rest
@@ -67,7 +67,7 @@ let ( let* ) r f = Result.bind r f
 
 let define_primitive ~name ?(doc = "") ~output_class ~args ?(params = [])
     ~template () =
-  if name = "" then Error "process: empty name"
+  if name = "" then Gaea_error.err "process: empty name"
   else
     let* () = validate_args name args in
     (* every referenced template parameter must be bound *)
@@ -77,7 +77,7 @@ let define_primitive ~name ?(doc = "") ~output_class ~args ?(params = [])
         (Template.free_params template)
     in
     if unbound <> [] then
-      Error
+      Gaea_error.err
         (Printf.sprintf "%s: unbound parameter(s): %s" name
            (String.concat ", " unbound))
     else begin
@@ -88,7 +88,7 @@ let define_primitive ~name ?(doc = "") ~output_class ~args ?(params = [])
           (Template.referenced_args template)
       in
       if unknown <> [] then
-        Error
+        Gaea_error.err
           (Printf.sprintf "%s: template references undeclared argument(s): %s"
              name
              (String.concat ", " unknown))
@@ -99,10 +99,10 @@ let define_primitive ~name ?(doc = "") ~output_class ~args ?(params = [])
     end
 
 let define_compound ~name ?(doc = "") ~output_class ~args ~steps () =
-  if name = "" then Error "process: empty name"
+  if name = "" then Gaea_error.err "process: empty name"
   else
     let* () = validate_args name args in
-    if steps = [] then Error (name ^ ": compound process with no steps")
+    if steps = [] then Gaea_error.err (name ^ ": compound process with no steps")
     else begin
       let declared = List.map (fun a -> a.arg_name) args in
       let rec check i = function
@@ -113,13 +113,13 @@ let define_compound ~name ?(doc = "") ~output_class ~args ~steps () =
             | (_, From_arg a) :: tl ->
               if List.mem a declared then check_inputs tl
               else
-                Error
+                Gaea_error.err
                   (Printf.sprintf "%s: step %d references unknown argument %s"
                      name i a)
             | (_, From_step j) :: tl ->
               if j >= 0 && j < i then check_inputs tl
               else
-                Error
+                Gaea_error.err
                   (Printf.sprintf
                      "%s: step %d references step %d (must be earlier)" name i
                      j)
@@ -139,7 +139,7 @@ let edit t ~name ?doc ?params ?template ?output_class () =
     | None, k -> Ok k
     | Some tmpl, Primitive _ -> Ok (Primitive tmpl)
     | Some _, Compound _ ->
-      Error (t.proc_name ^ ": cannot attach a template to a compound process")
+      Gaea_error.err (t.proc_name ^ ": cannot attach a template to a compound process")
   in
   let params = Option.value params ~default:t.params in
   let* () =
@@ -152,7 +152,7 @@ let edit t ~name ?doc ?params ?template ?output_class () =
       in
       if unbound = [] then Ok ()
       else
-        Error
+        Gaea_error.err
           (Printf.sprintf "%s: unbound parameter(s): %s" name
              (String.concat ", " unbound))
     | Compound _ -> Ok ()

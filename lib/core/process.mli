@@ -61,13 +61,13 @@ val setof_arg : ?card_min:int -> ?card_max:int -> string -> string -> arg_spec
 val define_primitive :
   name:string -> ?doc:string -> output_class:string -> args:arg_spec list
   -> ?params:(string * Gaea_adt.Value.t) list -> template:Template.t -> unit
-  -> (t, string) result
+  -> (t, Gaea_error.t) result
 (** Validates: unique/valid argument names, card bounds consistent,
     every template parameter bound, every referenced argument declared. *)
 
 val define_compound :
   name:string -> ?doc:string -> output_class:string -> args:arg_spec list
-  -> steps:step list -> unit -> (t, string) result
+  -> steps:step list -> unit -> (t, Gaea_error.t) result
 (** Validates step-input references ([From_step i] must point to an
     earlier step) and that at least one step exists. *)
 
@@ -77,7 +77,7 @@ val edit :
   -> ?params:(string * Gaea_adt.Value.t) list
   -> ?template:Template.t
   -> ?output_class:string
-  -> unit -> (t, string) result
+  -> unit -> (t, Gaea_error.t) result
 (** "A new process may be defined by editing an old process [...] In no
     case is the old process overwritten": returns a {e new} process
     (version 1 under the new name, or old-version+1 under the same

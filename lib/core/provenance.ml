@@ -1,0 +1,169 @@
+module Oid = Gaea_storage.Oid
+module Net = Gaea_petri.Net
+
+type net_view = {
+  net : Net.t;
+  place_of_class : string -> Net.place option;
+  class_of_place : Net.place -> string option;
+  process_of_transition : Net.transition -> (string * int) option;
+}
+
+type t = {
+  mutable task_log : Task.t list; (* reverse chronological *)
+  task_by_id : (int, Task.t) Hashtbl.t;
+  producer : (Oid.t, Task.t) Hashtbl.t;
+  users : (Oid.t, Task.t list) Hashtbl.t;
+  mutable next_task : int;
+  mutable clock : int;
+  mutable net_cache : net_view option;
+  bus : Events.bus;
+}
+
+let create ~bus =
+  let t =
+    { task_log = [];
+      task_by_id = Hashtbl.create 64;
+      producer = Hashtbl.create 64;
+      users = Hashtbl.create 64;
+      next_task = 1;
+      clock = 0;
+      net_cache = None;
+      bus }
+  in
+  (* the net view mirrors the class/process catalogs: any definition
+     change stales it *)
+  Events.subscribe bus ~name:"net-cache" (function
+    | Events.Class_defined _ | Events.Process_defined _
+    | Events.Process_versioned _ -> t.net_cache <- None
+    | _ -> ());
+  t
+
+let index t (task : Task.t) =
+  t.task_log <- task :: t.task_log;
+  Hashtbl.replace t.task_by_id task.Task.task_id task;
+  List.iter (fun oid -> Hashtbl.replace t.producer oid task) task.Task.outputs;
+  List.iter
+    (fun oid ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt t.users oid) in
+      Hashtbl.replace t.users oid (task :: cur))
+    (Task.input_oids task)
+
+let record_task t ~process ~version ~inputs ~params ~outputs ~output_class =
+  t.clock <- t.clock + 1;
+  let task =
+    { Task.task_id = t.next_task;
+      process;
+      process_version = version;
+      inputs;
+      params;
+      outputs;
+      output_class;
+      clock = t.clock }
+  in
+  t.next_task <- t.next_task + 1;
+  index t task;
+  Events.emit t.bus
+    (Events.Task_recorded
+       { task_id = task.Task.task_id; process; version });
+  task
+
+let restore_task t (task : Task.t) =
+  if Hashtbl.mem t.task_by_id task.Task.task_id then
+    Error
+      (Gaea_error.Duplicate
+         { kind = "task"; name = Printf.sprintf "#%d" task.Task.task_id })
+  else begin
+    index t task;
+    if task.Task.task_id >= t.next_task then t.next_task <- task.Task.task_id + 1;
+    if task.Task.clock > t.clock then t.clock <- task.Task.clock;
+    Ok ()
+  end
+
+let tasks t = List.rev t.task_log
+let find_task t id = Hashtbl.find_opt t.task_by_id id
+let task_producing t oid = Hashtbl.find_opt t.producer oid
+
+let tasks_using t oid =
+  Option.value ~default:[] (Hashtbl.find_opt t.users oid) |> List.rev
+
+let clock t = t.clock
+
+(* ------------------------------------------------------------------ *)
+(* Derivation net                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let build_net ~classes ~processes ~guard =
+  let net = Net.create () in
+  let place_tbl = Hashtbl.create 32 in
+  let class_tbl = Hashtbl.create 32 in
+  List.iter
+    (fun cls ->
+      let p = Net.add_place net ~name:cls.Schema.c_name in
+      Hashtbl.add place_tbl cls.Schema.c_name p;
+      Hashtbl.add class_tbl p cls.Schema.c_name)
+    classes;
+  let trans_tbl = Hashtbl.create 32 in
+  (* Transitions get ids in insertion order and Backchain breaks cost
+     ties by the lowest id, so install the processes that classes
+     declare as their DERIVED BY before the rest. *)
+  let declared = List.filter_map Schema.derived_by classes in
+  let preferred, others =
+    List.partition (fun p -> List.mem p.Process.proc_name declared) processes
+  in
+  List.iter
+    (fun proc ->
+      if Process.is_primitive proc then begin
+        (* group args by class: threshold = sum of card_min *)
+        let thresholds = Hashtbl.create 4 in
+        List.iter
+          (fun a ->
+            let cur =
+              Option.value ~default:0
+                (Hashtbl.find_opt thresholds a.Process.arg_class)
+            in
+            Hashtbl.replace thresholds a.Process.arg_class
+              (cur + a.Process.card_min))
+          proc.Process.args;
+        let inputs =
+          Hashtbl.fold
+            (fun cls k acc ->
+              match Hashtbl.find_opt place_tbl cls with
+              | Some p -> (p, k) :: acc
+              | None -> acc)
+            thresholds []
+          |> List.sort compare
+        in
+        match Hashtbl.find_opt place_tbl proc.Process.output_class with
+        | None -> ()
+        | Some out_place ->
+          let net_guard binding =
+            let available =
+              List.filter_map
+                (fun (place, toks) ->
+                  Option.map
+                    (fun cls -> (cls, toks))
+                    (Hashtbl.find_opt class_tbl place))
+                binding
+            in
+            guard proc ~available
+          in
+          (match
+             Net.add_transition net ~name:proc.Process.proc_name ~inputs
+               ~outputs:[ out_place ] ~guard:net_guard ()
+           with
+           | Ok tid -> Hashtbl.add trans_tbl tid (Process.key proc)
+           | Error _ -> ())
+      end)
+    (preferred @ others);
+  { net;
+    place_of_class = Hashtbl.find_opt place_tbl;
+    class_of_place = Hashtbl.find_opt class_tbl;
+    process_of_transition = Hashtbl.find_opt trans_tbl }
+
+let derivation_net t ~classes ~processes ~guard =
+  match t.net_cache with
+  | Some v -> v
+  | None ->
+    let v = build_net ~classes:(classes ()) ~processes:(processes ()) ~guard in
+    t.net_cache <- Some v;
+    v

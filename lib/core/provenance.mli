@@ -1,0 +1,54 @@
+(** Provenance: the task log, its lineage indexes, the logical clock,
+    and the (cached) class-derivation net view.
+
+    Emits [Task_recorded] when a task is appended ({!record_task});
+    restores are event-silent.  The memoized net view is dropped by
+    subscription when a class or process definition changes. *)
+
+module Oid = Gaea_storage.Oid
+
+type t
+
+val create : bus:Events.bus -> t
+
+val record_task :
+  t -> process:string -> version:int
+  -> inputs:(string * Oid.t list) list
+  -> params:(string * Gaea_adt.Value.t) list
+  -> outputs:Oid.t list -> output_class:string -> Task.t
+(** Advance the clock, allocate a task id, append and index the task.
+    Emits [Task_recorded]. *)
+
+val restore_task : t -> Task.t -> (unit, Gaea_error.t) result
+(** Append a previously recorded task verbatim; errors on duplicate
+    ids.  Advances the task counter and clock past it.  Event-silent. *)
+
+val tasks : t -> Task.t list
+(** Chronological. *)
+
+val find_task : t -> int -> Task.t option
+val task_producing : t -> Oid.t -> Task.t option
+val tasks_using : t -> Oid.t -> Task.t list
+val clock : t -> int
+
+(** {2 Derivation net} *)
+
+type net_view = {
+  net : Gaea_petri.Net.t;
+  place_of_class : string -> Gaea_petri.Net.place option;
+  class_of_place : Gaea_petri.Net.place -> string option;
+  process_of_transition : Gaea_petri.Net.transition -> (string * int) option;
+}
+
+val derivation_net :
+  t
+  -> classes:(unit -> Schema.t list)
+  -> processes:(unit -> Process.t list)
+  -> guard:(Process.t -> available:(string * Oid.t list) list -> bool)
+  -> net_view
+(** Build (or return the memoized) net: a place per class, a transition
+    per latest-version primitive process.  [guard] decides transition
+    enabledness from a candidate binding — the kernel facade injects
+    the deriver's binding search here, keeping this module independent
+    of evaluation.  Callers must pass stable closures: the memoized
+    view keeps the ones from the building call. *)

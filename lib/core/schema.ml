@@ -25,11 +25,11 @@ let resolve_extent attrs ~given ~conventional ~expected ~what =
   match given with
   | Some name ->
     (match find_attr attrs name with
-     | None -> Error (Printf.sprintf "%s attribute %s not declared" what name)
+     | None -> Gaea_error.err (Printf.sprintf "%s attribute %s not declared" what name)
      | Some a ->
        if Vtype.equal a.a_type expected then Ok (Some name)
        else
-         Error
+         Gaea_error.err
            (Printf.sprintf "%s attribute %s must have type %s, has %s" what
               name (Vtype.to_string expected) (Vtype.to_string a.a_type)))
   | None ->
@@ -38,8 +38,8 @@ let resolve_extent attrs ~given ~conventional ~expected ~what =
      | Some _ | None -> Ok None)
 
 let define ~name ?(doc = "") ~attributes ?spatial ?temporal ?derived_by () =
-  if name = "" then Error "class: empty name"
-  else if attributes = [] then Error (name ^ ": no attributes")
+  if name = "" then Gaea_error.err "class: empty name"
+  else if attributes = [] then Gaea_error.err (name ^ ": no attributes")
   else begin
     let attrs =
       List.map (fun (n, ty) -> { a_name = n; a_type = ty; a_doc = "" }) attributes
@@ -47,9 +47,9 @@ let define ~name ?(doc = "") ~attributes ?spatial ?temporal ?derived_by () =
     let rec dup_check seen = function
       | [] -> Ok ()
       | a :: rest ->
-        if a.a_name = "" then Error (name ^ ": empty attribute name")
+        if a.a_name = "" then Gaea_error.err (name ^ ": empty attribute name")
         else if List.mem a.a_name seen then
-          Error (Printf.sprintf "%s: duplicate attribute %s" name a.a_name)
+          Gaea_error.err (Printf.sprintf "%s: duplicate attribute %s" name a.a_name)
         else dup_check (a.a_name :: seen) rest
     in
     match dup_check [] attrs with

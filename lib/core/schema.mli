@@ -40,7 +40,7 @@ val define :
   -> ?temporal:string
   -> ?derived_by:string
   -> unit
-  -> (t, string) result
+  -> (t, Gaea_error.t) result
 (** Validates: non-empty name and attribute list, unique attribute
     names, the [spatial] attribute (if given) exists with type [Box],
     the [temporal] attribute exists with type [Abstime].  When

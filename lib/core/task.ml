@@ -45,8 +45,8 @@ let parse_int = function
   | Sexp.Atom a ->
     (match int_of_string_opt a with
      | Some i -> Ok i
-     | None -> Error ("task: not an int: " ^ a))
-  | Sexp.List _ -> Error "task: expected int atom"
+     | None -> Gaea_error.err ("task: not an int: " ^ a))
+  | Sexp.List _ -> Gaea_error.err "task: expected int atom"
 
 let of_sexp = function
   | Sexp.List
@@ -70,7 +70,7 @@ let of_sexp = function
                 (Ok []) oids
             in
             Ok ((arg, List.rev oids) :: acc)
-          | _ -> Error "task: malformed input binding")
+          | _ -> Gaea_error.err "task: malformed input binding")
         (Ok []) inputs
     in
     let* params =
@@ -79,9 +79,13 @@ let of_sexp = function
           let* acc = acc in
           match s with
           | Sexp.List [ Sexp.Atom p; v ] ->
-            let* value = Value.deserialize (Sexp.to_string v) in
+            let* value =
+              match Value.deserialize (Sexp.to_string v) with
+              | Ok value -> Ok value
+              | Error e -> Error (Gaea_error.Parse_error e)
+            in
             Ok ((p, value) :: acc)
-          | _ -> Error "task: malformed parameter")
+          | _ -> Gaea_error.err "task: malformed parameter")
         (Ok []) params
     in
     let* outputs =
@@ -97,7 +101,7 @@ let of_sexp = function
       { task_id; process; process_version; inputs = List.rev inputs;
         params = List.rev params; outputs = List.rev outputs; output_class;
         clock }
-  | _ -> Error "task: malformed sexp"
+  | _ -> Gaea_error.err "task: malformed sexp"
 
 let pp fmt t =
   Format.fprintf fmt "@[<h>task #%d: %s v%d (%s) -> %s {%s} @@%d@]" t.task_id

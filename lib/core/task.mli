@@ -21,5 +21,5 @@ val input_oids : t -> Gaea_storage.Oid.t list
 (** All inputs, flattened, sorted, deduplicated. *)
 
 val to_sexp : t -> Gaea_adt.Sexp.t
-val of_sexp : Gaea_adt.Sexp.t -> (t, string) result
+val of_sexp : Gaea_adt.Sexp.t -> (t, Gaea_error.t) result
 val pp : Format.formatter -> t -> unit

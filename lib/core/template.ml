@@ -28,11 +28,11 @@ let make ~assertions ~mappings = { assertions; mappings }
 
 type env = {
   arg_objects : string -> Value.t list option;
-  attr_value : string -> int -> string -> (Value.t, string) result;
+  attr_value : string -> int -> string -> (Value.t, Gaea_error.t) result;
   spatial_attr : string -> string option;
   temporal_attr : string -> string option;
   param : string -> Value.t option;
-  apply : string -> Value.t list -> (Value.t, string) result;
+  apply : string -> Value.t list -> (Value.t, Gaea_error.t) result;
   arity : string -> [ `Fixed of int | `Variadic ] option;
 }
 
@@ -42,7 +42,7 @@ let ( let* ) r f = Result.bind r f
    VSet of per-object attribute values. *)
 let eval_attr_of env arg attr =
   match env.arg_objects arg with
-  | None -> Error (Printf.sprintf "unbound argument %s" arg)
+  | None -> Gaea_error.err (Printf.sprintf "unbound argument %s" arg)
   | Some objs ->
     let* values =
       List.fold_left
@@ -63,13 +63,13 @@ let rec eval env = function
   | Param name ->
     (match env.param name with
      | Some v -> Ok v
-     | None -> Error (Printf.sprintf "unbound parameter %s" name))
+     | None -> Gaea_error.err (Printf.sprintf "unbound parameter %s" name))
   | Attr_of (arg, attr) -> eval_attr_of env arg attr
   | Anyof e ->
     let* v = eval env e in
     (match v with
      | Value.VSet (x :: _) -> Ok x
-     | Value.VSet [] -> Error "ANYOF: empty set"
+     | Value.VSet [] -> Gaea_error.err "ANYOF: empty set"
      | other -> Ok other)
   | Apply (opname, args) ->
     let* values =
@@ -98,7 +98,7 @@ let rec eval env = function
 (* For card/common rules, arg.attr values as a plain list. *)
 let attr_values env arg attr =
   match env.arg_objects arg with
-  | None -> Error (Printf.sprintf "unbound argument %s" arg)
+  | None -> Gaea_error.err (Printf.sprintf "unbound argument %s" arg)
   | Some objs ->
     let* values =
       List.fold_left
@@ -118,49 +118,49 @@ let check_assertion env a =
     (match v with
      | Value.VBool true -> Ok ()
      | Value.VBool false ->
-       Error "assertion evaluated to false"
+       Gaea_error.err "assertion evaluated to false"
      | other ->
-       Error
+       Gaea_error.err
          (Printf.sprintf "assertion evaluated to non-boolean %s"
             (Value.to_display other)))
   | Card_eq (arg, n) ->
     (match env.arg_objects arg with
-     | None -> Error (Printf.sprintf "unbound argument %s" arg)
+     | None -> Gaea_error.err (Printf.sprintf "unbound argument %s" arg)
      | Some objs ->
        let c = List.length objs in
        if c = n then Ok ()
-       else Error (Printf.sprintf "card(%s) = %d, requires exactly %d" arg c n))
+       else Gaea_error.err (Printf.sprintf "card(%s) = %d, requires exactly %d" arg c n))
   | Card_ge (arg, n) ->
     (match env.arg_objects arg with
-     | None -> Error (Printf.sprintf "unbound argument %s" arg)
+     | None -> Gaea_error.err (Printf.sprintf "unbound argument %s" arg)
      | Some objs ->
        let c = List.length objs in
        if c >= n then Ok ()
-       else Error (Printf.sprintf "card(%s) = %d, requires at least %d" arg c n))
+       else Gaea_error.err (Printf.sprintf "card(%s) = %d, requires at least %d" arg c n))
   | Common_space arg ->
     (match env.spatial_attr arg with
      | None ->
-       Error (Printf.sprintf "argument %s has no spatial extent" arg)
+       Gaea_error.err (Printf.sprintf "argument %s has no spatial extent" arg)
      | Some attr ->
        let* values = attr_values env arg attr in
        let* result = env.apply "common_boxes" [ Value.set values ] in
        (match result with
         | Value.VBool true -> Ok ()
         | _ ->
-          Error
+          Gaea_error.err
             (Printf.sprintf "common(%s.%s) violated: extents do not overlap"
                arg attr)))
   | Common_time arg ->
     (match env.temporal_attr arg with
      | None ->
-       Error (Printf.sprintf "argument %s has no temporal extent" arg)
+       Gaea_error.err (Printf.sprintf "argument %s has no temporal extent" arg)
      | Some attr ->
        let* values = attr_values env arg attr in
        let* result = env.apply "common_times" [ Value.set values ] in
        (match result with
         | Value.VBool true -> Ok ()
         | _ ->
-          Error
+          Gaea_error.err
             (Printf.sprintf "common(%s.%s) violated: timestamps disagree" arg
                attr)))
 
@@ -170,7 +170,7 @@ let check_assertions env t =
       let* () = acc in
       match check_assertion env a with
       | Ok () -> Ok ()
-      | Error e -> Error (Printf.sprintf "%s" e))
+      | Error e -> Error e)
     (Ok ()) t.assertions
 
 let eval_mappings env t =
@@ -180,7 +180,7 @@ let eval_mappings env t =
         let* acc = acc in
         match eval env m.rhs with
         | Ok v -> Ok ((m.target, v) :: acc)
-        | Error e -> Error (Printf.sprintf "mapping %s: %s" m.target e))
+        | Error e -> Error (Gaea_error.Context ("mapping " ^ m.target, e)))
       (Ok []) t.mappings
   in
   Ok (List.rev pairs)

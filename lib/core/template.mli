@@ -53,25 +53,25 @@ type env = {
   (** objects bound to an argument: singleton for scalar args, any
       number for SETOF args; the values are the objects' attribute
       tuples rendered per attribute via [attr_value] *)
-  attr_value : string -> int -> string -> (Gaea_adt.Value.t, string) result;
+  attr_value : string -> int -> string -> (Gaea_adt.Value.t, Gaea_error.t) result;
   (** [attr_value arg i attr]: attribute of the i-th object of [arg] *)
   spatial_attr : string -> string option;
   (** spatial-extent attribute name of the argument's class *)
   temporal_attr : string -> string option;
   param : string -> Gaea_adt.Value.t option;
-  apply : string -> Gaea_adt.Value.t list -> (Gaea_adt.Value.t, string) result;
+  apply : string -> Gaea_adt.Value.t list -> (Gaea_adt.Value.t, Gaea_error.t) result;
   (** operator application through the registry *)
   arity : string -> [ `Fixed of int | `Variadic ] option;
   (** operator arity, for set splicing *)
 }
 
-val eval : env -> expr -> (Gaea_adt.Value.t, string) result
+val eval : env -> expr -> (Gaea_adt.Value.t, Gaea_error.t) result
 
-val check_assertion : env -> assertion -> (unit, string) result
+val check_assertion : env -> assertion -> (unit, Gaea_error.t) result
 (** [Error] describes which guard failed and why. *)
 
-val check_assertions : env -> t -> (unit, string) result
-val eval_mappings : env -> t -> ((string * Gaea_adt.Value.t) list, string) result
+val check_assertions : env -> t -> (unit, Gaea_error.t) result
+val eval_mappings : env -> t -> ((string * Gaea_adt.Value.t) list, Gaea_error.t) result
 
 val expr_to_string : expr -> string
 val assertion_to_string : assertion -> string

@@ -38,16 +38,29 @@ let civil_from_days z =
   let y = if m <= 2 then y + 1 else y in
   (y, m, d)
 
-let of_ymd y m d =
+let of_ymd_checked y m d =
   if not (is_valid_date y m d) then
-    invalid_arg (Printf.sprintf "Abstime.of_ymd: invalid date %d-%02d-%02d" y m d);
-  days_from_civil y m d * 86400
+    Error (Printf.sprintf "Abstime.of_ymd: invalid date %d-%02d-%02d" y m d)
+  else Ok (days_from_civil y m d * 86400)
+
+let of_ymd y m d =
+  match of_ymd_checked y m d with
+  | Ok t -> t
+  | Error m -> invalid_arg m
+
+let of_ymd_hms_checked y m d hh mm ss =
+  if hh < 0 || hh > 23 || mm < 0 || mm > 59 || ss < 0 || ss > 59 then
+    Error
+      (Printf.sprintf "Abstime.of_ymd_hms: invalid time %02d:%02d:%02d" hh mm ss)
+  else
+    match of_ymd_checked y m d with
+    | Ok day -> Ok (day + (hh * 3600 + mm * 60 + ss))
+    | Error _ as e -> e
 
 let of_ymd_hms y m d hh mm ss =
-  if hh < 0 || hh > 23 || mm < 0 || mm > 59 || ss < 0 || ss > 59 then
-    invalid_arg
-      (Printf.sprintf "Abstime.of_ymd_hms: invalid time %02d:%02d:%02d" hh mm ss);
-  of_ymd y m d + (hh * 3600 + mm * 60 + ss)
+  match of_ymd_hms_checked y m d hh mm ss with
+  | Ok t -> t
+  | Error m -> invalid_arg m
 
 (* Floor division/modulo so negative timestamps map to the correct day. *)
 let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)

@@ -17,15 +17,27 @@ val of_ymd : int -> int -> int -> t
 (** [of_ymd y m d] is midnight on that civil date.
     @raise Invalid_argument on an invalid civil date. *)
 
+val of_ymd_checked : int -> int -> int -> (t, string) result
+(** Non-raising variant of {!of_ymd}; the error string is the message
+    {!of_ymd} would raise. *)
+
 val of_ymd_hms : int -> int -> int -> int -> int -> int -> t
 (** @raise Invalid_argument on an invalid date or time of day. *)
+
+val of_ymd_hms_checked :
+  int -> int -> int -> int -> int -> int -> (t, string) result
+(** Non-raising variant of {!of_ymd_hms}. *)
 
 val to_ymd : t -> int * int * int
 val to_ymd_hms : t -> (int * int * int) * (int * int * int)
 
 val is_valid_date : int -> int -> int -> bool
 val is_leap_year : int -> bool
+
 val days_in_month : int -> int -> int
+(** [days_in_month y m].
+    @raise Invalid_argument if [m] is outside 1..12 (invariant check —
+    callers validate the month with {!is_valid_date} first). *)
 
 val add_seconds : t -> int -> t
 val add_days : t -> int -> t

@@ -37,12 +37,19 @@ let relate_ints (as_, ae) (bs, be) =
   classify ~ss:(compare as_ bs) ~se:(compare as_ be) ~es:(compare ae bs)
     ~ee:(compare ae be)
 
-let relate a b =
+let relate_checked a b =
   if Interval.is_instant a || Interval.is_instant b then
-    invalid_arg "Allen.relate: instant (zero-duration) interval";
-  let s i = Abstime.to_seconds (Interval.start i) in
-  let e i = Abstime.to_seconds (Interval.stop i) in
-  relate_ints (s a, e a) (s b, e b)
+    Error "Allen.relate: instant (zero-duration) interval"
+  else begin
+    let s i = Abstime.to_seconds (Interval.start i) in
+    let e i = Abstime.to_seconds (Interval.stop i) in
+    Ok (relate_ints (s a, e a) (s b, e b))
+  end
+
+let relate a b =
+  match relate_checked a b with
+  | Ok r -> r
+  | Error m -> invalid_arg m
 
 let inverse = function
   | Before -> After

@@ -25,6 +25,10 @@ val relate : Interval.t -> Interval.t -> relation
 (** The unique relation holding between two proper intervals.
     @raise Invalid_argument if either interval is an instant. *)
 
+val relate_checked : Interval.t -> Interval.t -> (relation, string) result
+(** Non-raising variant of {!relate}; the error string is the message
+    {!relate} would raise. *)
+
 val inverse : relation -> relation
 (** [relate b a = inverse (relate a b)]. *)
 

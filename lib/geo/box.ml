@@ -1,19 +1,24 @@
 type t = { xmin : float; ymin : float; xmax : float; ymax : float }
 
-let check_finite name v =
-  if not (Float.is_finite v) then
-    invalid_arg (Printf.sprintf "Box.make: %s is not finite" name)
+let make_checked ~xmin ~ymin ~xmax ~ymax =
+  let nonfinite =
+    List.find_opt
+      (fun (_, v) -> not (Float.is_finite v))
+      [ ("xmin", xmin); ("ymin", ymin); ("xmax", xmax); ("ymax", ymax) ]
+  in
+  match nonfinite with
+  | Some (name, _) -> Error (Printf.sprintf "Box.make: %s is not finite" name)
+  | None ->
+    if xmax < xmin || ymax < ymin then
+      Error
+        (Printf.sprintf "Box.make: inverted box (%g,%g,%g,%g)" xmin ymin xmax
+           ymax)
+    else Ok { xmin; ymin; xmax; ymax }
 
 let make ~xmin ~ymin ~xmax ~ymax =
-  check_finite "xmin" xmin;
-  check_finite "ymin" ymin;
-  check_finite "xmax" xmax;
-  check_finite "ymax" ymax;
-  if xmax < xmin || ymax < ymin then
-    invalid_arg
-      (Printf.sprintf "Box.make: inverted box (%g,%g,%g,%g)" xmin ymin xmax
-         ymax);
-  { xmin; ymin; xmax; ymax }
+  match make_checked ~xmin ~ymin ~xmax ~ymax with
+  | Ok t -> t
+  | Error m -> invalid_arg m
 
 let of_corners (x1, y1) (x2, y2) =
   make ~xmin:(Float.min x1 x2) ~ymin:(Float.min y1 y2)
@@ -71,12 +76,20 @@ let translate t ~dx ~dy =
   { xmin = t.xmin +. dx; ymin = t.ymin +. dy;
     xmax = t.xmax +. dx; ymax = t.ymax +. dy }
 
+let scale_about_center_checked t f =
+  if f < 0. then Error "Box.scale_about_center: negative factor"
+  else begin
+    let cx, cy = center t in
+    let half_w = width t /. 2. *. f and half_h = height t /. 2. *. f in
+    Ok
+      { xmin = cx -. half_w; ymin = cy -. half_h;
+        xmax = cx +. half_w; ymax = cy +. half_h }
+  end
+
 let scale_about_center t f =
-  if f < 0. then invalid_arg "Box.scale_about_center: negative factor";
-  let cx, cy = center t in
-  let half_w = width t /. 2. *. f and half_h = height t /. 2. *. f in
-  { xmin = cx -. half_w; ymin = cy -. half_h;
-    xmax = cx +. half_w; ymax = cy +. half_h }
+  match scale_about_center_checked t f with
+  | Ok b -> b
+  | Error m -> invalid_arg m
 
 let equal a b =
   a.xmin = b.xmin && a.ymin = b.ymin && a.xmax = b.xmax && a.ymax = b.ymax

@@ -7,6 +7,11 @@ val make : xmin:float -> ymin:float -> xmax:float -> ymax:float -> t
 (** @raise Invalid_argument if [xmax < xmin] or [ymax < ymin], or any
     coordinate is not finite. *)
 
+val make_checked :
+  xmin:float -> ymin:float -> xmax:float -> ymax:float -> (t, string) result
+(** Non-raising variant of {!make}; the error string is the message
+    {!make} would raise. *)
+
 val of_corners : float * float -> float * float -> t
 (** Corners in any order. *)
 
@@ -33,7 +38,13 @@ val expand : t -> float -> t
 (** Grow (or, if negative, shrink — clamped at the center) each side. *)
 
 val translate : t -> dx:float -> dy:float -> t
+
 val scale_about_center : t -> float -> t
+(** @raise Invalid_argument on a negative factor. *)
+
+val scale_about_center_checked : t -> float -> (t, string) result
+(** Non-raising variant of {!scale_about_center}. *)
+
 val equal : t -> t -> bool
 val approx_equal : ?eps:float -> t -> t -> bool
 val compare : t -> t -> int

@@ -1,11 +1,16 @@
 type t = { start : Abstime.t; stop : Abstime.t }
 
-let make start stop =
+let make_checked start stop =
   if Abstime.compare stop start < 0 then
-    invalid_arg
+    Error
       (Printf.sprintf "Interval.make: stop %s before start %s"
-         (Abstime.to_string stop) (Abstime.to_string start));
-  { start; stop }
+         (Abstime.to_string stop) (Abstime.to_string start))
+  else Ok { start; stop }
+
+let make start stop =
+  match make_checked start stop with
+  | Ok t -> t
+  | Error m -> invalid_arg m
 
 let instant t = { start = t; stop = t }
 

@@ -5,6 +5,10 @@ type t = private { start : Abstime.t; stop : Abstime.t }
 val make : Abstime.t -> Abstime.t -> t
 (** @raise Invalid_argument if [stop < start]. *)
 
+val make_checked : Abstime.t -> Abstime.t -> (t, string) result
+(** Non-raising variant of {!make}; the error string is the message
+    {!make} would raise. *)
+
 val instant : Abstime.t -> t
 (** The degenerate interval [\[t, t\]]. *)
 

@@ -8,10 +8,15 @@ type unit_ =
   | Meter
   | Kilometer
 
-let utm zone =
+let utm_checked zone =
   if zone < 1 || zone > 60 then
-    invalid_arg (Printf.sprintf "Refsys.utm: zone %d outside 1..60" zone);
-  Utm zone
+    Error (Printf.sprintf "Refsys.utm: zone %d outside 1..60" zone)
+  else Ok (Utm zone)
+
+let utm zone =
+  match utm_checked zone with
+  | Ok r -> r
+  | Error m -> invalid_arg m
 
 let equal a b =
   match a, b with

@@ -18,6 +18,9 @@ val utm : int -> t
 (** [utm zone] builds a UTM reference system.
     @raise Invalid_argument if [zone] is outside 1..60. *)
 
+val utm_checked : int -> (t, string) result
+(** Non-raising variant of {!utm}. *)
+
 val equal : t -> t -> bool
 val equal_unit : unit_ -> unit_ -> bool
 

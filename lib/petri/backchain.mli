@@ -30,7 +30,13 @@ val search : ?need:int -> Net.t -> Marking.t -> Net.place -> plan option
     is underivable.  Cycles in the derivation net are handled by
     excluding places already under derivation on the current path
     (so P5-style self-derivations — deriving a concept from itself via
-    a sibling class — still work). *)
+    a sibling class — still work).
+
+    Invariant check: [need >= 1].
+    @raise Invalid_argument if [need < 1] — a programming error in the
+    caller, not a data-dependent failure, so it is deliberately an
+    exception rather than a [Result] (query-layer callers always pass a
+    positive demand, validated at parse time). *)
 
 val cost : plan -> int
 (** Number of transition firings in the plan. *)

@@ -66,6 +66,7 @@ type statement =
       mappings : (string * expr) list;
     }
   | Insert of { cls : string; values : (string * expr) list }
+  | Delete of { cls : string; oid : int }
   | Select of select
   | Derive of { cls : string; at : literal option; need : int option }
   | Show_lineage of int
@@ -77,6 +78,7 @@ type statement =
   | Show_operators of string option
   | Show_plan of string
   | Show_net
+  | Show_events
   | Verify_object of int
   | Verify_task of int
   | Compare of int * int
@@ -89,6 +91,7 @@ let statement_to_string = function
   | Define_concept { name; _ } -> "DEFINE CONCEPT " ^ name
   | Define_process { name; _ } -> "DEFINE PROCESS " ^ name
   | Insert { cls; _ } -> "INSERT INTO " ^ cls
+  | Delete { cls; oid } -> Printf.sprintf "DELETE FROM %s %d" cls oid
   | Select { source; _ } -> "SELECT FROM " ^ source
   | Derive { cls; _ } -> "DERIVE " ^ cls
   | Show_lineage oid -> Printf.sprintf "SHOW LINEAGE %d" oid
@@ -100,7 +103,8 @@ let statement_to_string = function
   | Show_operators None -> "SHOW OPERATORS"
   | Show_operators (Some t) -> "SHOW OPERATORS FOR " ^ t
   | Show_plan cls -> "SHOW PLAN " ^ cls
-  | Show_net -> "SHOW NET"
+  | Show_net
+  | Show_events -> "SHOW NET"
   | Verify_object oid -> Printf.sprintf "VERIFY %d" oid
   | Verify_task id -> Printf.sprintf "VERIFY TASK %d" id
   | Compare (a, b) -> Printf.sprintf "COMPARE %d %d" a b

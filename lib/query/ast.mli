@@ -68,6 +68,7 @@ type statement =
       mappings : (string * expr) list;
     }
   | Insert of { cls : string; values : (string * expr) list }
+  | Delete of { cls : string; oid : int }
   | Select of select
   | Derive of { cls : string; at : literal option; need : int option }
   | Show_lineage of int
@@ -79,6 +80,7 @@ type statement =
   | Show_operators of string option    (** FOR <type> *)
   | Show_plan of string
   | Show_net
+  | Show_events
   | Verify_object of int
   | Verify_task of int
   | Compare of int * int

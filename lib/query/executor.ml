@@ -1,3 +1,4 @@
+module Gaea_error = Gaea_core.Gaea_error
 module Value = Gaea_adt.Value
 module Vtype = Gaea_adt.Vtype
 module Registry = Gaea_adt.Registry
@@ -11,6 +12,7 @@ module Task = Gaea_core.Task
 module Derivation = Gaea_core.Derivation
 module Lineage = Gaea_core.Lineage
 module Experiment = Gaea_core.Experiment
+module Events = Gaea_core.Events
 module Table = Gaea_storage.Table
 module Tuple = Gaea_storage.Tuple
 module Vorder = Gaea_storage.Vorder
@@ -68,11 +70,15 @@ let eval_standalone t expr =
   let reg = Kernel.registry t.kernel in
   let env =
     { Template.arg_objects = (fun _ -> None);
-      attr_value = (fun a _ _ -> Error ("no argument " ^ a ^ " in this context"));
+      attr_value = (fun a _ _ -> Gaea_error.err ("no argument " ^ a ^ " in this context"));
       spatial_attr = (fun _ -> None);
       temporal_attr = (fun _ -> None);
       param = (fun _ -> None);
-      apply = (fun op args -> Registry.apply reg op args);
+      apply =
+        (fun op args ->
+          match Registry.apply reg op args with
+          | Ok v -> Ok v
+          | Error e -> Error (Gaea_error.Eval_error e));
       arity =
         (fun op ->
           Option.map
@@ -269,7 +275,7 @@ let execute t stmt =
           let* acc = acc in
           match Vtype.of_string tyname with
           | Some ty -> Ok ((a, ty) :: acc)
-          | None -> Error (Printf.sprintf "unknown type %s" tyname))
+          | None -> Gaea_error.err (Printf.sprintf "unknown type %s" tyname))
         (Ok []) attrs
     in
     let* def =
@@ -332,6 +338,9 @@ let execute t stmt =
     in
     let* oid = Kernel.insert_object t.kernel ~cls (List.rev pairs) in
     Ok (Message (Printf.sprintf "object %d inserted into %s" oid cls))
+  | Ast.Delete { cls; oid } ->
+    let* () = Kernel.delete_object t.kernel ~cls oid in
+    Ok (Message (Printf.sprintf "object %d deleted from %s" oid cls))
   | Ast.Select s -> execute_select t s
   | Ast.Derive { cls; at; need } ->
     (* DERIVE on a concept resolves through the high-level layer: pick
@@ -357,12 +366,12 @@ let execute t stmt =
           match List.sort (fun (_, a) (_, b) -> Float.compare a b) scored with
           | (best, _) :: _ -> Ok best
           | [] ->
-            Error
+            Gaea_error.err
               (Printf.sprintf
                  "no class realizing concept %s is derivable from current data"
                  cls)
         end
-        else Error (Printf.sprintf "unknown class or concept %s" cls)
+        else Gaea_error.err (Printf.sprintf "unknown class or concept %s" cls)
     in
     let* outcome =
       match at with
@@ -370,14 +379,14 @@ let execute t stmt =
         (match Optimizer.literal_value lit with
          | Value.VAbstime target ->
            Derivation.request_at t.kernel ~cls ~at:target ()
-         | _ -> Error "DERIVE ... AT expects a date")
+         | _ -> Gaea_error.err "DERIVE ... AT expects a date")
       | None -> Derivation.request t.kernel ?need cls
     in
     record_tasks_in_experiment t outcome.Derivation.new_tasks;
     Ok (Message (outcome_message outcome))
   | Ast.Show_lineage oid ->
     (match Kernel.class_of_object t.kernel oid with
-     | None -> Error (Printf.sprintf "no object %d" oid)
+     | None -> Gaea_error.err (Printf.sprintf "no object %d" oid)
      | Some _ -> Ok (Message (Lineage.explain t.kernel oid)))
   | Ast.Show_classes ->
     Ok
@@ -395,7 +404,7 @@ let execute t stmt =
                (Kernel.processes t.kernel))))
   | Ast.Show_versions name ->
     (match Kernel.process_versions t.kernel name with
-     | [] -> Error (Printf.sprintf "unknown process %s" name)
+     | [] -> Gaea_error.err (Printf.sprintf "unknown process %s" name)
      | vs ->
        Ok
          (Message
@@ -463,6 +472,20 @@ let execute t stmt =
          (Dot.to_dot ~name:"gaea-derivation"
             ~marking:(Kernel.current_marking t.kernel)
             view.Kernel.net))
+  | Ast.Show_events ->
+    let entries = Kernel.event_log t.kernel in
+    let lines =
+      List.map
+        (fun (seq, ev) ->
+          Printf.sprintf "%6d  %s" seq (Kernel.Events.event_to_string ev))
+        entries
+    in
+    Ok
+      (Message
+         (Printf.sprintf "event log (%d retained of %d emitted):\n%s"
+            (List.length entries)
+            (Events.seen (Kernel.bus t.kernel))
+            (String.concat "\n" lines)))
   | Ast.Verify_object oid ->
     let* ok = Lineage.verify_object t.kernel oid in
     Ok
@@ -471,7 +494,7 @@ let execute t stmt =
           else Printf.sprintf "object %d DOES NOT reproduce" oid))
   | Ast.Verify_task id ->
     (match Kernel.find_task t.kernel id with
-     | None -> Error (Printf.sprintf "no task #%d" id)
+     | None -> Gaea_error.err (Printf.sprintf "no task #%d" id)
      | Some task ->
        let* ok = Lineage.verify_task t.kernel task in
        Ok

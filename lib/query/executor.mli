@@ -14,7 +14,7 @@ val create : ?kernel:Gaea_core.Kernel.t -> unit -> t
 val kernel : t -> Gaea_core.Kernel.t
 val experiments : t -> Gaea_core.Experiment.manager
 
-val execute : t -> Ast.statement -> (response, string) result
+val execute : t -> Ast.statement -> (response, Gaea_core.Gaea_error.t) result
 (** DERIVE statements record their tasks into the current experiment
     (after BEGIN EXPERIMENT). *)
 

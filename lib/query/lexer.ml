@@ -1,3 +1,4 @@
+module Gaea_error = Gaea_core.Gaea_error
 type token =
   | Ident of string
   | Keyword of string
@@ -27,7 +28,8 @@ let keywords =
     "OPERATORS"; "FOR"; "PLAN"; "VERIFY"; "TASK"; "COMPARE"; "ANYOF";
     "COMMON"; "SPATIAL"; "TEMPORAL"; "DERIVED"; "BY"; "OVERLAPS"; "LIMIT";
     "ORDER"; "ASC"; "DESC"; "TRUE"; "FALSE"; "BOX"; "DATE"; "NET";
-    "EXPERIMENT"; "BEGIN"; "NOTE"; "REPRODUCE"; "COUNT"; "VERSIONS"; "OF" ]
+    "EXPERIMENT"; "BEGIN"; "NOTE"; "REPRODUCE"; "COUNT"; "VERSIONS"; "OF";
+    "EVENTS"; "DELETE" ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 
@@ -146,7 +148,7 @@ let tokenize src =
      done
    with Exit -> ());
   match !err with
-  | Some e -> Error e
+  | Some e -> Error (Gaea_error.Parse_error e)
   | None -> Ok (List.rev (Eof :: !toks))
 
 let token_to_string = function

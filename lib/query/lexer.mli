@@ -24,7 +24,7 @@ type token =
 val keywords : string list
 (** All recognized keywords (uppercase). *)
 
-val tokenize : string -> (token list, string) result
+val tokenize : string -> (token list, Gaea_core.Gaea_error.t) result
 (** Comments run from [--] to end of line.  Identifiers matching a
     keyword (case-insensitive) become [Keyword]. *)
 

@@ -1,3 +1,4 @@
+module Gaea_error = Gaea_core.Gaea_error
 module Value = Gaea_adt.Value
 module Kernel = Gaea_core.Kernel
 module Concept = Gaea_core.Concept
@@ -25,10 +26,10 @@ let resolve_source k source =
     let concepts = Kernel.concepts k in
     if Concept.mem concepts source then begin
       match Concept.classes_of concepts source with
-      | [] -> Error (Printf.sprintf "concept %s has no member classes" source)
+      | [] -> Gaea_error.err (Printf.sprintf "concept %s has no member classes" source)
       | classes -> Ok classes
     end
-    else Error (Printf.sprintf "unknown class or concept %s" source)
+    else Gaea_error.err (Printf.sprintf "unknown class or concept %s" source)
 
 (* pick the best indexable predicate on the (first) class *)
 let choose_path k cls preds =

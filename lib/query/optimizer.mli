@@ -4,7 +4,7 @@ val literal_value : Ast.literal -> Gaea_adt.Value.t
 (** Dates become [VAbstime] (midnight), boxes [VBox]. *)
 
 val plan_select :
-  Gaea_core.Kernel.t -> Ast.select -> (Plan.select_plan, string) result
+  Gaea_core.Kernel.t -> Ast.select -> (Plan.select_plan, Gaea_core.Gaea_error.t) result
 (** Resolves the source (class name, or concept name expanding to its
     classes), picks the cheapest access path using table statistics and
     available indexes, and leaves the remaining predicates residual. *)

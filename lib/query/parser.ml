@@ -1,3 +1,4 @@
+module Gaea_error = Gaea_core.Gaea_error
 open Ast
 
 type state = {
@@ -328,6 +329,11 @@ let statement st =
     expect st Lexer.Rparen ")";
     Insert { cls; values = List.rev !values }
   | Lexer.Keyword "SELECT" -> select st
+  | Lexer.Keyword "DELETE" ->
+    expect_kw st "FROM";
+    let cls = ident st in
+    let oid = int_lit st in
+    Delete { cls; oid }
   | Lexer.Keyword "DERIVE" ->
     let cls = ident st in
     let at = if accept_kw st "AT" then Some (literal st) else None in
@@ -340,6 +346,7 @@ let statement st =
      | Lexer.Keyword "CONCEPTS" -> Show_concepts
      | Lexer.Keyword "TASKS" -> Show_tasks
      | Lexer.Keyword "NET" -> Show_net
+     | Lexer.Keyword "EVENTS" -> Show_events
      | Lexer.Keyword "LINEAGE" -> Show_lineage (int_lit st)
      | Lexer.Keyword "PLAN" -> Show_plan (ident st)
      | Lexer.Keyword "VERSIONS" ->
@@ -383,11 +390,11 @@ let parse src =
          done
        done;
        Ok (List.rev !stmts)
-     with Syntax m -> Error m)
+     with Syntax m -> Error (Gaea_error.Parse_error m))
 
 let parse_one src =
   match parse src with
   | Error _ as e -> e
   | Ok [ s ] -> Ok s
-  | Ok [] -> Error "empty input"
-  | Ok _ -> Error "expected exactly one statement"
+  | Ok [] -> Error (Gaea_error.Parse_error "empty input")
+  | Ok _ -> Error (Gaea_error.Parse_error "expected exactly one statement")

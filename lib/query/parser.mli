@@ -20,7 +20,7 @@
     ["timestamp"] (or any name containing "time") gives the temporal
     rule, anything else the spatial one. *)
 
-val parse : string -> (Ast.statement list, string) result
+val parse : string -> (Ast.statement list, Gaea_core.Gaea_error.t) result
 (** Parse a whole script (statements separated by [;]). *)
 
-val parse_one : string -> (Ast.statement, string) result
+val parse_one : string -> (Ast.statement, Gaea_core.Gaea_error.t) result

@@ -1,26 +1,33 @@
+module Gaea_error = Gaea_core.Gaea_error
+
 type t = { executor : Executor.t }
 
 let create ?kernel () = { executor = Executor.create ?kernel () }
 let executor t = t.executor
 let kernel t = Executor.kernel t.executor
 
-let run_string t src =
+let run_string_partial t src =
   match Parser.parse src with
-  | Error e -> Error ("parse error: " ^ e)
+  | Error e -> ([], Some (Gaea_error.Context ("parse error", e)))
   | Ok stmts ->
     let rec go acc = function
-      | [] -> Ok (List.rev acc)
+      | [] -> (List.rev acc, None)
       | stmt :: rest ->
         (match Executor.execute t.executor stmt with
          | Ok resp -> go (resp :: acc) rest
          | Error e ->
-           Error
-             (Printf.sprintf "%s: %s" (Ast.statement_to_string stmt) e))
+           ( List.rev acc,
+             Some (Gaea_error.Context (Ast.statement_to_string stmt, e)) ))
     in
     go [] stmts
 
+let run_string t src =
+  match run_string_partial t src with
+  | responses, None -> Ok responses
+  | _, Some e -> Error e
+
 let run_string_collect t src =
   match run_string t src with
-  | Error e -> "error: " ^ e
+  | Error e -> "error: " ^ Gaea_error.to_string e
   | Ok responses ->
     String.concat "\n" (List.map Executor.format_response responses)

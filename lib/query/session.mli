@@ -8,9 +8,15 @@ val executor : t -> Executor.t
 val kernel : t -> Gaea_core.Kernel.t
 
 val run_string :
-  t -> string -> (Executor.response list, string) result
+  t -> string -> (Executor.response list, Gaea_core.Gaea_error.t) result
 (** Parse and execute a whole script; stops at the first error
     (statements already executed stay executed, like psql). *)
+
+val run_string_partial :
+  t -> string -> Executor.response list * Gaea_core.Gaea_error.t option
+(** Like {!run_string} but also returns the responses of the
+    statements that executed before the error — what the CLI needs to
+    print partial output and still exit non-zero. *)
 
 val run_string_collect : t -> string -> string
 (** Like {!run_string} but renders every response (and any error) into

@@ -17,7 +17,7 @@ let tc name f = Alcotest.test_case name `Quick f
 
 let ok = function
   | Ok v -> v
-  | Error e -> Alcotest.failf "unexpected error: %s" e
+  | Error e -> Alcotest.failf "unexpected error: %s" (Gaea_error.to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* Schema                                                              *)
@@ -190,7 +190,7 @@ let test_kernel_objects () =
             ("timestamp", Value.int 4); ("zzz", Value.int 5) ]));
   check_bool "unknown class" true
     (Result.is_error (Kernel.insert_object k ~cls:"nope" []));
-  check_bool "delete" true (Kernel.delete_object k ~cls:"src" oid);
+  check_bool "delete" true (Result.is_ok (Kernel.delete_object k ~cls:"src" oid));
   check_int "deleted" 0 (Kernel.count_objects k "src")
 
 let test_kernel_duplicate_definitions () =
@@ -300,14 +300,16 @@ let test_cache_invalidated_by_delete () =
   let proc = Option.get (Kernel.find_process k "negate") in
   let t1 = ok (Kernel.execute_process k proc ~inputs:[ ("x", [ oid ]) ]) in
   let out = List.hd t1.Task.outputs in
-  check_bool "output deleted" true (Kernel.delete_object k ~cls:"out" out);
+  check_bool "output deleted" true
+    (Result.is_ok (Kernel.delete_object k ~cls:"out" out));
   let t2 = ok (Kernel.execute_process k proc ~inputs:[ ("x", [ oid ]) ]) in
   check_bool "recomputed after output deletion" true
     (t2.Task.task_id <> t1.Task.task_id);
   check_int "object rematerialized" 1 (Kernel.count_objects k "out");
   (* deleting an input drops the entry that read it *)
   check_int "one live entry" 1 (Kernel.cache_stats k).Kernel.entries;
-  check_bool "input deleted" true (Kernel.delete_object k ~cls:"src" oid);
+  check_bool "input deleted" true
+    (Result.is_ok (Kernel.delete_object k ~cls:"src" oid));
   check_int "entry dropped with its input" 0
     (Kernel.cache_stats k).Kernel.entries
 
@@ -405,7 +407,7 @@ let test_task_sexp_roundtrip () =
          (fun (n1, v1) (n2, v2) -> n1 = n2 && Value.equal v1 v2)
          task.Task.params t'.Task.params);
     check_str "class" task.Task.output_class t'.Task.output_class
-  | Error e -> Alcotest.failf "roundtrip: %s" e
+  | Error e -> Alcotest.failf "roundtrip: %s" (Gaea_error.to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* find_binding                                                        *)
@@ -560,7 +562,9 @@ let test_derivation_failure_reported () =
   ok (Figures.install_fig3 k);
   (* no TM data at all *)
   (match Derivation.request k Figures.land_cover_class with
-   | Error e -> check_bool "mentions class" true (String.length e > 0)
+   | Error e ->
+     check_bool "mentions class" true
+       (String.length (Gaea_error.to_string e) > 0)
    | Ok _ -> Alcotest.fail "should fail");
   check_bool "derivable is false" false
     (Derivation.derivable k Figures.land_cover_class)
@@ -785,7 +789,7 @@ let test_persist_roundtrip () =
   let _ = ok (Derivation.request ~need:2 k Figures.ndvi_class) in
   let text = Persist.save k in
   match Persist.load text with
-  | Error e -> Alcotest.failf "load: %s" e
+  | Error e -> Alcotest.failf "load: %s" (Gaea_error.to_string e)
   | Ok k2 ->
     check_int "classes restored" (List.length (Kernel.classes k))
       (List.length (Kernel.classes k2));
@@ -829,7 +833,7 @@ let test_persist_versions_roundtrip () =
   let v2 = ok (Process.edit v1 ~name:"negate" ()) in
   ok (Kernel.define_process k v2);
   match Persist.load (Persist.save k) with
-  | Error e -> Alcotest.failf "load: %s" e
+  | Error e -> Alcotest.failf "load: %s" (Gaea_error.to_string e)
   | Ok k2 ->
     check_int "both versions" 2 (List.length (Kernel.process_versions k2 "negate"));
     check_bool "latest is v2" true

@@ -1,0 +1,293 @@
+(* Tests for the kernel event bus: subscriber ordering, the ring-buffer
+   event log, cache invalidation driven by events (parity with the
+   direct cache tests in test_core), and a randomized persistence
+   round-trip over event-built kernels. *)
+
+open Gaea_core
+module Value = Gaea_adt.Value
+module Vtype = Gaea_adt.Vtype
+module Box = Gaea_geo.Box
+module Abstime = Gaea_geo.Abstime
+module Image = Gaea_raster.Image
+module Pixel = Gaea_raster.Pixel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let tc name f = Alcotest.test_case name `Quick f
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Gaea_error.to_string e)
+
+(* Same fixture as test_core: one source class, one derived class, one
+   primitive process negating the source image. *)
+let simple_kernel () =
+  let k = Kernel.create () in
+  let src =
+    ok
+      (Schema.define ~name:"src"
+         ~attributes:
+           [ ("tag", Vtype.Int); ("data", Vtype.Image);
+             ("spatialextent", Vtype.Box); ("timestamp", Vtype.Abstime) ]
+         ())
+  in
+  ok (Kernel.define_class k src);
+  let out =
+    ok
+      (Schema.define ~name:"out"
+         ~attributes:
+           [ ("data", Vtype.Image); ("spatialextent", Vtype.Box);
+             ("timestamp", Vtype.Abstime) ]
+         ~derived_by:"negate" ())
+  in
+  ok (Kernel.define_class k out);
+  let open Template in
+  let proc =
+    ok
+      (Process.define_primitive ~name:"negate" ~output_class:"out"
+         ~args:[ Process.scalar_arg "x" "src" ]
+         ~template:
+           (make ~assertions:[]
+              ~mappings:
+                [ { target = "data";
+                    rhs = Apply ("img_scale", [ Const (Value.float (-1.)); Attr_of ("x", "data") ]) };
+                  { target = "spatialextent"; rhs = Attr_of ("x", "spatialextent") };
+                  { target = "timestamp"; rhs = Attr_of ("x", "timestamp") } ])
+         ())
+  in
+  ok (Kernel.define_process k proc);
+  k
+
+let insert_src k tag v =
+  ok
+    (Kernel.insert_object k ~cls:"src"
+       [ ("tag", Value.int tag);
+         ("data", Value.image (Image.of_array ~nrow:1 ~ncol:2 Pixel.Float8 [| v; v +. 1. |]));
+         ("spatialextent", Value.box (Box.make ~xmin:0. ~ymin:0. ~xmax:1. ~ymax:1.));
+         ("timestamp", Value.abstime (Abstime.of_ymd 1986 1 1)) ])
+
+let events k = List.map snd (Kernel.event_log k)
+
+let count_where p k = List.length (List.filter p (events k))
+
+(* ------------------------------------------------------------------ *)
+(* Bus mechanics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_subscriber_order () =
+  let bus = Events.create () in
+  let calls = ref [] in
+  List.iter
+    (fun name ->
+      Events.subscribe bus ~name (fun _ -> calls := name :: !calls))
+    [ "first"; "second"; "third" ];
+  Alcotest.(check (list string)) "registration order"
+    [ "first"; "second"; "third" ] (Events.subscribers bus);
+  Events.emit bus (Events.Class_defined "c");
+  Alcotest.(check (list string)) "notified in registration order"
+    [ "first"; "second"; "third" ] (List.rev !calls)
+
+let test_ring_buffer_wrap () =
+  let bus = Events.create ~log_capacity:4 () in
+  for i = 0 to 9 do
+    Events.emit bus (Events.Class_defined (Printf.sprintf "c%d" i))
+  done;
+  check_int "all emissions counted" 10 (Events.seen bus);
+  let log = Events.log bus in
+  check_int "ring keeps capacity entries" 4 (List.length log);
+  Alcotest.(check (list int)) "latest sequence numbers survive"
+    [ 6; 7; 8; 9 ] (List.map fst log);
+  check_bool "oldest first" true
+    (match log with
+     | (6, Events.Class_defined "c6") :: _ -> true
+     | _ -> false)
+
+let test_event_rendering () =
+  Alcotest.(check string) "object event" "object_inserted pt #3"
+    (Events.event_to_string (Events.Object_inserted { cls = "pt"; oid = 3 }));
+  Alcotest.(check string) "invalidate event"
+    "cache_invalidated 2 entries (process negate)"
+    (Events.event_to_string
+       (Events.Cache_invalidated { entries = 2; reason = "process negate" }))
+
+(* ------------------------------------------------------------------ *)
+(* Kernel wiring                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_kernel_subscriber_order () =
+  (* metrics must observe events before the caches react to them *)
+  let k = Kernel.create () in
+  Alcotest.(check (list string)) "fixed subscription order"
+    [ "metrics"; "net-cache"; "result-cache" ]
+    (Events.subscribers (Kernel.bus k))
+
+let test_lifecycle_events_logged () =
+  let k = simple_kernel () in
+  let oid = insert_src k 1 2.0 in
+  ok (Kernel.delete_object k ~cls:"src" oid);
+  let has ev = List.mem ev (events k) in
+  check_bool "class_defined" true (has (Events.Class_defined "src"));
+  check_bool "process_defined" true
+    (has (Events.Process_defined { name = "negate"; version = 1 }));
+  check_bool "object_inserted" true
+    (has (Events.Object_inserted { cls = "src"; oid }));
+  check_bool "object_deleted" true
+    (has (Events.Object_deleted { cls = "src"; oid }))
+
+let test_cache_miss_then_hit_logged () =
+  let k = simple_kernel () in
+  let oid = insert_src k 1 2.0 in
+  let proc = Option.get (Kernel.find_process k "negate") in
+  let t1 = ok (Kernel.execute_process k proc ~inputs:[ ("x", [ oid ]) ]) in
+  let t2 = ok (Kernel.execute_process k proc ~inputs:[ ("x", [ oid ]) ]) in
+  check_int "cache served the repeat" t1.Task.task_id t2.Task.task_id;
+  let cache_traffic =
+    List.filter_map
+      (function
+        | Events.Cache_miss { process; _ } -> Some ("miss " ^ process)
+        | Events.Cache_hit { process; _ } -> Some ("hit " ^ process)
+        | _ -> None)
+      (events k)
+  in
+  Alcotest.(check (list string)) "miss first, then hit"
+    [ "miss negate"; "hit negate" ] cache_traffic;
+  (* the metrics subscriber and the log must agree *)
+  let c = Kernel.counters k in
+  check_int "hit counter parity" c.Kernel.cache_hits
+    (count_where (function Events.Cache_hit _ -> true | _ -> false) k);
+  check_int "miss counter parity" c.Kernel.cache_misses
+    (count_where (function Events.Cache_miss _ -> true | _ -> false) k);
+  check_int "execution counter parity" c.Kernel.executions
+    (count_where (function Events.Task_recorded _ -> true | _ -> false) k)
+
+let invalidations_with reason_prefix k =
+  count_where
+    (function
+      | Events.Cache_invalidated { reason; entries } ->
+        entries > 0
+        && String.length reason >= String.length reason_prefix
+        && String.sub reason 0 (String.length reason_prefix) = reason_prefix
+      | _ -> false)
+    k
+
+let test_invalidation_events_on_reversion () =
+  (* parity with test_core's test_cache_invalidated_by_new_version,
+     observed through the event log *)
+  let k = simple_kernel () in
+  let oid = insert_src k 1 2.0 in
+  let v1 = Option.get (Kernel.find_process k "negate") in
+  let _ = ok (Kernel.execute_process k v1 ~inputs:[ ("x", [ oid ]) ]) in
+  let v2 = ok (Process.edit v1 ~name:"negate" ~doc:"sharpened" ()) in
+  ok (Kernel.define_process k v2);
+  check_bool "process_versioned logged" true
+    (List.mem (Events.Process_versioned { name = "negate"; version = 2 })
+       (events k));
+  check_int "entries dropped" 0 (Kernel.cache_stats k).Kernel.entries;
+  check_int "one invalidation event for the process" 1
+    (invalidations_with "process negate" k)
+
+let test_invalidation_events_on_delete () =
+  (* parity with test_core's test_cache_invalidated_by_delete *)
+  let k = simple_kernel () in
+  let oid = insert_src k 1 2.0 in
+  let proc = Option.get (Kernel.find_process k "negate") in
+  let _ = ok (Kernel.execute_process k proc ~inputs:[ ("x", [ oid ]) ]) in
+  ok (Kernel.delete_object k ~cls:"src" oid);
+  check_int "entry dropped with its input" 0
+    (Kernel.cache_stats k).Kernel.entries;
+  check_int "invalidation attributed to the object" 1
+    (invalidations_with (Printf.sprintf "object #%d" oid) k)
+
+let test_invalidation_events_on_class_mutation () =
+  let k = simple_kernel () in
+  let oid = insert_src k 1 2.0 in
+  let proc = Option.get (Kernel.find_process k "negate") in
+  let _ = ok (Kernel.execute_process k proc ~inputs:[ ("x", [ oid ]) ]) in
+  check_int "one live entry" 1 (Kernel.cache_stats k).Kernel.entries;
+  Kernel.invalidate_cache_class k "src";
+  check_bool "class_mutated logged" true
+    (List.mem (Events.Class_mutated "src") (events k));
+  check_int "entry dropped" 0 (Kernel.cache_stats k).Kernel.entries;
+  check_int "invalidation attributed to the class" 1
+    (invalidations_with "class src" k)
+
+let test_restore_is_event_silent () =
+  (* kernel restore replays state without re-announcing it: Persist.load
+     must not trigger subscribers (cache invalidation, counters) *)
+  let k = simple_kernel () in
+  let oid = insert_src k 1 2.0 in
+  let proc = Option.get (Kernel.find_process k "negate") in
+  let task = ok (Kernel.execute_process k proc ~inputs:[ ("x", [ oid ]) ]) in
+  let k2 = simple_kernel () in
+  let before = Events.seen (Kernel.bus k2) in
+  ok
+    (Kernel.insert_object_with_oid k2 ~cls:"src" 42
+       [ ("tag", Value.int 1);
+         ("data", Value.image (Image.of_array ~nrow:1 ~ncol:2 Pixel.Float8 [| 0.; 1. |]));
+         ("spatialextent", Value.box (Box.make ~xmin:0. ~ymin:0. ~xmax:1. ~ymax:1.));
+         ("timestamp", Value.abstime (Abstime.of_ymd 1986 1 1)) ]);
+  ok (Kernel.restore_task k2 task);
+  check_int "no events emitted by restore paths" before
+    (Events.seen (Kernel.bus k2))
+
+(* ------------------------------------------------------------------ *)
+(* Persistence round-trip property                                     *)
+(* ------------------------------------------------------------------ *)
+
+let persist_roundtrip_prop =
+  QCheck.Test.make ~name:"persist roundtrip preserves catalog, tasks, lineage"
+    ~count:30
+    QCheck.(
+      pair (int_range 1 4)
+        (pair (int_range 0 2) (list_of_size (Gen.return 4) (float_range (-50.) 50.))))
+    (fun (n_objects, (extra_versions, floats)) ->
+      let k = simple_kernel () in
+      let vals = Array.of_list (floats @ [ 1.0; 2.0; 3.0; 4.0 ]) in
+      let oids =
+        List.init n_objects (fun i -> insert_src k (i + 1) vals.(i))
+      in
+      let v1 = Option.get (Kernel.find_process k "negate") in
+      for _ = 1 to extra_versions do
+        let latest = Option.get (Kernel.find_process k "negate") in
+        ok (Kernel.define_process k (ok (Process.edit latest ~name:"negate" ())))
+      done;
+      List.iter
+        (fun oid ->
+          ignore (ok (Kernel.execute_process k v1 ~inputs:[ ("x", [ oid ]) ])))
+        oids;
+      match Persist.load (Persist.save k) with
+      | Error e -> QCheck.Test.fail_report (Gaea_error.to_string e)
+      | Ok k2 ->
+        List.length (Kernel.classes k) = List.length (Kernel.classes k2)
+        && List.length (Kernel.all_process_versions k)
+           = List.length (Kernel.all_process_versions k2)
+        && List.length (Kernel.tasks k) = List.length (Kernel.tasks k2)
+        && Kernel.count_objects k "src" = Kernel.count_objects k2 "src"
+        && Kernel.count_objects k "out" = Kernel.count_objects k2 "out"
+        && List.for_all
+             (fun (t : Task.t) ->
+               match t.Task.outputs with
+               | [ out ] -> Kernel.task_producing k2 out <> None
+               | _ -> false)
+             (Kernel.tasks k2)
+        && List.for_all
+             (fun (t : Task.t) -> Result.is_ok (Kernel.recompute_task k2 t))
+             (Kernel.tasks k2))
+
+let () =
+  Alcotest.run "events"
+    [ ( "bus",
+        [ tc "subscriber order" test_subscriber_order;
+          tc "ring buffer wrap" test_ring_buffer_wrap;
+          tc "event rendering" test_event_rendering ] );
+      ( "kernel",
+        [ tc "kernel subscriber order" test_kernel_subscriber_order;
+          tc "lifecycle events logged" test_lifecycle_events_logged;
+          tc "cache miss then hit logged" test_cache_miss_then_hit_logged;
+          tc "invalidation on re-version" test_invalidation_events_on_reversion;
+          tc "invalidation on delete" test_invalidation_events_on_delete;
+          tc "invalidation on class mutation"
+            test_invalidation_events_on_class_mutation;
+          tc "restore is event-silent" test_restore_is_event_silent ] );
+      qsuite "persist" [ persist_roundtrip_prop ] ]

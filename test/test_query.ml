@@ -13,7 +13,8 @@ let tc name f = Alcotest.test_case name `Quick f
 
 let ok = function
   | Ok v -> v
-  | Error e -> Alcotest.failf "unexpected error: %s" e
+  | Error e ->
+    Alcotest.failf "unexpected error: %s" (Gaea_core.Gaea_error.to_string e)
 
 let contains haystack needle =
   let n = String.length needle and h = String.length haystack in
@@ -26,7 +27,7 @@ let contains haystack needle =
 
 let test_lexer_basics () =
   match Lexer.tokenize "SELECT * FROM t WHERE x >= 2.5 AND y <> 'a b';" with
-  | Error e -> Alcotest.failf "tokenize: %s" e
+  | Error e -> Alcotest.failf "tokenize: %s" (Gaea_core.Gaea_error.to_string e)
   | Ok toks ->
     let open Lexer in
     Alcotest.(check (list string)) "tokens"
@@ -36,7 +37,7 @@ let test_lexer_basics () =
 
 let test_lexer_comments_and_params () =
   match Lexer.tokenize "DERIVE x; -- a comment\n$param 42 -7 3.5e2" with
-  | Error e -> Alcotest.failf "tokenize: %s" e
+  | Error e -> Alcotest.failf "tokenize: %s" (Gaea_core.Gaea_error.to_string e)
   | Ok toks ->
     let open Lexer in
     check_bool "param" true (List.mem (Param "param") toks);
@@ -66,7 +67,7 @@ let test_parse_define_class () =
     check_int "attrs" 4 (List.length attrs);
     check_bool "derived" true (derived_by = Some "classify")
   | Ok _ -> Alcotest.fail "wrong statement"
-  | Error e -> Alcotest.failf "parse: %s" e
+  | Error e -> Alcotest.failf "parse: %s" (Gaea_core.Gaea_error.to_string e)
 
 let test_parse_define_process () =
   let src =
@@ -97,7 +98,7 @@ let test_parse_define_process () =
       (List.exists (function Ast.A_common_space "bands" -> true | _ -> false) assertions);
     check_int "mappings" 3 (List.length mappings)
   | Ok _ -> Alcotest.fail "wrong statement"
-  | Error e -> Alcotest.failf "parse: %s" e
+  | Error e -> Alcotest.failf "parse: %s" (Gaea_core.Gaea_error.to_string e)
 
 let test_parse_select () =
   match
@@ -112,7 +113,7 @@ let test_parse_select () =
     check_bool "order" true (s.Ast.order_by = Some ("a", Ast.Desc));
     check_bool "limit" true (s.Ast.limit = Some 5)
   | Ok _ -> Alcotest.fail "wrong statement"
-  | Error e -> Alcotest.failf "parse: %s" e
+  | Error e -> Alcotest.failf "parse: %s" (Gaea_core.Gaea_error.to_string e)
 
 let test_parse_misc_statements () =
   let parses src =
@@ -135,7 +136,7 @@ let test_parse_misc_statements () =
 let test_parse_script_and_errors () =
   (match Parser.parse "SHOW CLASSES; SHOW TASKS;; ; SHOW NET" with
    | Ok stmts -> check_int "three statements" 3 (List.length stmts)
-   | Error e -> Alcotest.failf "script: %s" e);
+   | Error e -> Alcotest.failf "script: %s" (Gaea_core.Gaea_error.to_string e));
   List.iter
     (fun src ->
       check_bool ("rejects " ^ src) true (Result.is_error (Parser.parse_one src)))
@@ -229,7 +230,8 @@ let run1 session src =
   match Session.run_string session src with
   | Ok [ r ] -> r
   | Ok _ -> Alcotest.fail "expected one response"
-  | Error e -> Alcotest.failf "%s: %s" src e
+  | Error e ->
+    Alcotest.failf "%s: %s" src (Gaea_core.Gaea_error.to_string e)
 
 let test_executor_select_filters () =
   let session = desert_session () in
