@@ -6,36 +6,34 @@ let max_size = 8
 (* ------------------------------------------------------------------ *)
 
 (* Boundaries depend only on (lo, hi, grain): bit-identical reductions
-   at any pool size. *)
-let chunk_ranges ~grain ~lo ~hi =
+   at any pool size.  Pure arithmetic — no chunk array is ever
+   allocated on the dispatch path. *)
+let chunk_count ~grain ~lo ~hi =
   let len = hi - lo in
-  if len <= 0 then [||]
-  else begin
-    let n = (len + grain - 1) / grain in
-    Array.init n (fun i ->
-        let clo = lo + (i * grain) in
-        (clo, Stdlib.min hi (clo + grain)))
-  end
+  if len <= 0 then 0 else (len + grain - 1) / grain
 
 (* ------------------------------------------------------------------ *)
 (* The pool                                                            *)
 (* ------------------------------------------------------------------ *)
 
 type job = {
-  chunks : (int * int) array;
-  body : int -> int -> int -> unit; (* chunk index, lo, hi *)
-  next : int Atomic.t;              (* next chunk to claim *)
-  pending : int Atomic.t;           (* chunks not yet finished *)
+  n : int;                 (* number of chunks *)
+  body : int -> unit;      (* run chunk i (bounds computed by closure) *)
+  next : int Atomic.t;     (* next chunk to claim *)
+  pending : int Atomic.t;  (* chunks not yet finished *)
   err : exn option Atomic.t;
 }
 
 type pool = {
   lanes : int; (* workers + the calling domain *)
   mutex : Mutex.t;
-  cond : Condition.t;
-  mutable job : job option;
-  mutable epoch : int;   (* bumped per job; workers wait on changes *)
-  mutable stopping : bool;
+  cond : Condition.t;            (* workers wait here for a new epoch *)
+  done_cond : Condition.t;       (* the caller waits here for stragglers *)
+  epoch : int Atomic.t;          (* bumped per job; publishes [job] *)
+  sleepers : int Atomic.t;       (* workers blocked on [cond] *)
+  caller_waiting : bool Atomic.t;
+  stopping : bool Atomic.t;
+  mutable job : job option;      (* written before the epoch bump *)
   mutable domains : unit Domain.t list;
 }
 
@@ -43,40 +41,72 @@ type pool = {
    parallel calls degrade to the sequential path *)
 let in_parallel = Domain.DLS.new_key (fun () -> false)
 
-let run_job j =
-  let n = Array.length j.chunks in
+(* Spin budgets: long enough to cover the a-few-microseconds gap
+   between back-to-back kernel calls, short enough that an idle pool
+   parks its workers well under a millisecond. *)
+let worker_spin_budget = 20_000
+let caller_spin_budget = 50_000
+
+let finish_chunk p j =
+  (* fetch_and_add returns the previous value: 1 means this was the
+     last chunk, and the caller (if parked) needs a wakeup *)
+  if Atomic.fetch_and_add j.pending (-1) = 1
+     && Atomic.get p.caller_waiting
+  then begin
+    Mutex.lock p.mutex;
+    Condition.broadcast p.done_cond;
+    Mutex.unlock p.mutex
+  end
+
+let run_job p j =
+  let n = j.n in
   let rec claim () =
     let i = Atomic.fetch_and_add j.next 1 in
     if i < n then begin
-      (try
-         let clo, chi = j.chunks.(i) in
-         j.body i clo chi
-       with e ->
-         ignore (Atomic.compare_and_set j.err None (Some e)));
-      Atomic.decr j.pending;
+      (try j.body i
+       with e -> ignore (Atomic.compare_and_set j.err None (Some e)));
+      finish_chunk p j;
       claim ()
     end
   in
   claim ()
 
-let rec worker_loop p seen_epoch =
-  Mutex.lock p.mutex;
-  while (not p.stopping) && p.epoch = seen_epoch do
-    Condition.wait p.cond p.mutex
-  done;
-  let stopping = p.stopping in
-  let epoch = p.epoch in
-  let job = p.job in
-  Mutex.unlock p.mutex;
-  if not stopping then begin
-    (match job with Some j -> run_job j | None -> ());
+(* Workers spin on the epoch for a bounded budget, then block on the
+   condvar.  The sleepers counter lets the dispatcher skip the mutex +
+   broadcast entirely when every worker is still spinning — the common
+   case for back-to-back kernels.  The wakeup is race-free: a worker
+   re-checks the epoch under the mutex after incrementing sleepers, and
+   the dispatcher bumps the epoch before reading sleepers. *)
+let rec worker_loop p seen =
+  let rec await spins =
+    if Atomic.get p.epoch = seen then
+      if spins > 0 then begin
+        Domain.cpu_relax ();
+        await (spins - 1)
+      end
+      else begin
+        Mutex.lock p.mutex;
+        Atomic.incr p.sleepers;
+        while Atomic.get p.epoch = seen do
+          Condition.wait p.cond p.mutex
+        done;
+        Atomic.decr p.sleepers;
+        Mutex.unlock p.mutex
+      end
+  in
+  await worker_spin_budget;
+  if not (Atomic.get p.stopping) then begin
+    let epoch = Atomic.get p.epoch in
+    (match p.job with Some j -> run_job p j | None -> ());
     worker_loop p epoch
   end
 
 let make_pool lanes =
   let p =
     { lanes; mutex = Mutex.create (); cond = Condition.create ();
-      job = None; epoch = 0; stopping = false; domains = [] }
+      done_cond = Condition.create (); epoch = Atomic.make 0;
+      sleepers = Atomic.make 0; caller_waiting = Atomic.make false;
+      stopping = Atomic.make false; job = None; domains = [] }
   in
   p.domains <-
     List.init (lanes - 1) (fun _ ->
@@ -114,8 +144,10 @@ let size () =
     n
 
 let shutdown_pool p =
+  Atomic.set p.stopping true;
   Mutex.lock p.mutex;
-  p.stopping <- true;
+  (* spinning workers notice the epoch change; sleepers the broadcast *)
+  Atomic.incr p.epoch;
   Condition.broadcast p.cond;
   Mutex.unlock p.mutex;
   List.iter Domain.join p.domains
@@ -130,14 +162,21 @@ let shutdown () =
 
 let set_size n =
   let n = clamp_size n in
-  Mutex.lock region_mutex;
-  (match !pool with
-   | Some p when p.lanes <> n ->
-     shutdown_pool p;
-     pool := None
-   | _ -> ());
-  requested := Some n;
-  Mutex.unlock region_mutex
+  if Domain.DLS.get in_parallel then
+    (* inside a parallel region the region mutex is held (or we are a
+       worker): resizing now would deadlock.  Record the request; the
+       next region entry applies it in [get_pool]. *)
+    requested := Some n
+  else begin
+    Mutex.lock region_mutex;
+    (match !pool with
+     | Some p when p.lanes <> n ->
+       shutdown_pool p;
+       pool := None
+     | _ -> ());
+    requested := Some n;
+    Mutex.unlock region_mutex
+  end
 
 (* caller holds region_mutex *)
 let get_pool () =
@@ -150,69 +189,173 @@ let get_pool () =
     p
 
 (* ------------------------------------------------------------------ *)
-(* Parallel iteration                                                  *)
+(* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run_parallel chunks body =
+(* Run [body 0 .. body (n-1)] across the pool.  The caller claims
+   chunks too (help-first), then spins briefly on [pending] and only
+   parks on [done_cond] if stragglers remain — the common case never
+   touches the pool mutex at all. *)
+let dispatch n body =
   Mutex.lock region_mutex;
   let p = get_pool () in
   let j =
-    { chunks; body; next = Atomic.make 0;
-      pending = Atomic.make (Array.length chunks);
+    { n; body; next = Atomic.make 0; pending = Atomic.make n;
       err = Atomic.make None }
   in
-  Mutex.lock p.mutex;
   p.job <- Some j;
-  p.epoch <- p.epoch + 1;
-  Condition.broadcast p.cond;
-  Mutex.unlock p.mutex;
+  Atomic.incr p.epoch;
+  if Atomic.get p.sleepers > 0 then begin
+    Mutex.lock p.mutex;
+    Condition.broadcast p.cond;
+    Mutex.unlock p.mutex
+  end;
   Domain.DLS.set in_parallel true;
-  run_job j;
-  (* workers may still be draining their claimed chunks *)
-  while Atomic.get j.pending > 0 do
-    Domain.cpu_relax ()
-  done;
+  run_job p j;
+  let rec wait spins =
+    if Atomic.get j.pending > 0 then
+      if spins > 0 then begin
+        Domain.cpu_relax ();
+        wait (spins - 1)
+      end
+      else begin
+        (* set caller_waiting before the pending re-check: the worker
+           that drops pending to 0 afterwards is guaranteed to see it
+           and broadcast *)
+        Atomic.set p.caller_waiting true;
+        Mutex.lock p.mutex;
+        while Atomic.get j.pending > 0 do
+          Condition.wait p.done_cond p.mutex
+        done;
+        Mutex.unlock p.mutex;
+        Atomic.set p.caller_waiting false
+      end
+  in
+  wait caller_spin_budget;
   Domain.DLS.set in_parallel false;
-  Mutex.lock p.mutex;
   p.job <- None;
-  Mutex.unlock p.mutex;
   let err = Atomic.get j.err in
   Mutex.unlock region_mutex;
   match err with Some e -> raise e | None -> ()
 
-let sequential_ok ~grain ~lo ~hi =
-  size () = 1 || hi - lo <= grain || Domain.DLS.get in_parallel
+(* ------------------------------------------------------------------ *)
+(* Adaptive sequential cutoff                                          *)
+(* ------------------------------------------------------------------ *)
 
-let parallel_for ?(grain = default_grain) ~lo ~hi body =
-  if sequential_ok ~grain ~lo ~hi then
+let min_par_override = ref None
+
+let env_min_par =
+  lazy
+    (match Sys.getenv_opt "GAEA_MIN_PAR_WORK" with
+     | Some s -> int_of_string_opt (String.trim s)
+     | None -> None)
+
+let median a =
+  let a = Array.copy a in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+(* Calibrated threshold: parallelism should engage only when the
+   sequential work is worth ~10 pool dispatches.  Both sides measured
+   in wall time once per process: dispatch = median of empty jobs
+   through the live pool, work = best-of-5 float-array sum. *)
+let calibrate () =
+  let reps = 9 in
+  let samples = Array.make reps 0. in
+  for r = 0 to reps - 1 do
+    let t0 = Unix.gettimeofday () in
+    dispatch (size ()) (fun _ -> ());
+    samples.(r) <- Unix.gettimeofday () -. t0
+  done;
+  let overhead = median samples in
+  let n = 65536 in
+  let a = Array.make n 1.0 in
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let t0 = Unix.gettimeofday () in
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc := !acc +. Array.unsafe_get a i
+    done;
+    ignore (Sys.opaque_identity !acc);
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  let per_elem = Stdlib.max 1e-10 (!best /. float_of_int n) in
+  let w = int_of_float (10. *. overhead /. per_elem) in
+  Stdlib.max default_grain (Stdlib.min 16_777_216 w)
+
+let calibrated = ref None
+
+let min_parallel_work () =
+  match !min_par_override with
+  | Some w -> w
+  | None ->
+    (match Lazy.force env_min_par with
+     | Some w -> w
+     | None ->
+       if Domain.recommended_domain_count () = 1 then max_int
+       else
+         match !calibrated with
+         | Some w -> w
+         | None ->
+           let w = calibrate () in
+           calibrated := Some w;
+           w)
+
+let set_min_parallel_work w = min_par_override := w
+
+(* ------------------------------------------------------------------ *)
+(* Parallel iteration                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let sequential_ok ~grain ~lo ~hi =
+  Domain.DLS.get in_parallel || size () = 1 || hi - lo <= grain
+
+let below_cutoff ~cost ~lo ~hi =
+  let w = min_parallel_work () in
+  w > 0 && float_of_int (hi - lo) *. cost < float_of_int w
+
+let parallel_for ?(grain = default_grain) ?(cost = 1.0) ~lo ~hi body =
+  if sequential_ok ~grain ~lo ~hi || below_cutoff ~cost ~lo ~hi then
     for i = lo to hi - 1 do
       body i
     done
   else
-    run_parallel (chunk_ranges ~grain ~lo ~hi) (fun _ clo chi ->
+    dispatch (chunk_count ~grain ~lo ~hi) (fun ci ->
+        let clo = lo + (ci * grain) in
+        let chi = Stdlib.min hi (clo + grain) in
         for i = clo to chi - 1 do
           body i
         done)
 
-let parallel_for_ranges ?(grain = default_grain) ~lo ~hi body =
+let parallel_for_ranges ?(grain = default_grain) ?(cost = 1.0) ~lo ~hi body =
   if hi > lo then begin
-    if sequential_ok ~grain ~lo ~hi then body lo hi
-    else run_parallel (chunk_ranges ~grain ~lo ~hi) (fun _ clo chi -> body clo chi)
+    if sequential_ok ~grain ~lo ~hi || below_cutoff ~cost ~lo ~hi then
+      body lo hi
+    else
+      dispatch (chunk_count ~grain ~lo ~hi) (fun ci ->
+          let clo = lo + (ci * grain) in
+          body clo (Stdlib.min hi (clo + grain)))
   end
 
-let map_chunks ?(grain = default_grain) ~lo ~hi f =
-  let chunks = chunk_ranges ~grain ~lo ~hi in
-  let n = Array.length chunks in
+let map_chunks ?(grain = default_grain) ?(cost = 1.0) ~lo ~hi f =
+  let n = chunk_count ~grain ~lo ~hi in
   if n = 0 then [||]
   else begin
     let results = Array.make n None in
+    let run ci =
+      let clo = lo + (ci * grain) in
+      results.(ci) <- Some (f clo (Stdlib.min hi (clo + grain)))
+    in
     (* same chunk layout either way, so reductions associate identically *)
-    if size () = 1 || n = 1 || Domain.DLS.get in_parallel then
-      Array.iteri
-        (fun i (clo, chi) -> results.(i) <- Some (f clo chi))
-        chunks
-    else
-      run_parallel chunks (fun i clo chi -> results.(i) <- Some (f clo chi));
+    if n = 1 || Domain.DLS.get in_parallel || size () = 1
+       || below_cutoff ~cost ~lo ~hi
+    then
+      for ci = 0 to n - 1 do
+        run ci
+      done
+    else dispatch n run;
     Array.map
       (function
         | Some v -> v
@@ -220,5 +363,34 @@ let map_chunks ?(grain = default_grain) ~lo ~hi f =
       results
   end
 
-let parallel_for_reduce ?grain ~lo ~hi ~init ~reduce map =
-  Array.fold_left reduce init (map_chunks ?grain ~lo ~hi map)
+let parallel_for_reduce ?grain ?cost ~lo ~hi ~init ~reduce map =
+  Array.fold_left reduce init (map_chunks ?grain ?cost ~lo ~hi map)
+
+(* ------------------------------------------------------------------ *)
+(* Coarse-grained batches                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_batch thunks =
+  let n = Array.length thunks in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    if n = 1 || size () = 1 || Domain.DLS.get in_parallel then begin
+      (* match the parallel path: every thunk runs, first error wins
+         and is raised only after the batch completes *)
+      let err = ref None in
+      Array.iteri
+        (fun i t ->
+          match t () with
+          | v -> results.(i) <- Some v
+          | exception e -> if !err = None then err := Some e)
+        thunks;
+      match !err with Some e -> raise e | None -> ()
+    end
+    else dispatch n (fun i -> results.(i) <- Some (thunks.(i) ()));
+    Array.map
+      (function
+        | Some v -> v
+        | None -> invalid_arg "Pool.parallel_batch: missing result")
+      results
+  end

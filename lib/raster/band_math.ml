@@ -1,7 +1,9 @@
 let f8 = Pixel.Float8
 
-let subtract ?(label = "subtract") a b =
-  Image.par_map2 ~label ~ptype:f8 (fun x y -> x -. y) a b
+(* subtract and add go through the fused closure-free kernels;
+   [s = 1.] / [a = 1.] multiplications are exact, so the results stay
+   bit-identical to the par_map2 reference (parity-tested). *)
+let subtract ?(label = "subtract") a b = Kernelized.sub_scale ~label ~s:1. a b
 
 let divide ?(label = "divide") a b =
   Image.par_map2 ~label ~ptype:f8 (fun x y -> if y = 0. then 0. else x /. y) a b
@@ -13,7 +15,7 @@ let ratio ?(label = "ratio") a b =
       if d = 0. then 0. else (x -. y) /. d)
     a b
 
-let add ?(label = "add") a b = Image.par_map2 ~label ~ptype:f8 ( +. ) a b
+let add ?(label = "add") a b = Kernelized.axpy ~label ~a:1. a b
 let multiply ?(label = "multiply") a b = Image.par_map2 ~label ~ptype:f8 ( *. ) a b
 let scale ?(label = "scale") s t = Image.par_map ~label ~ptype:f8 (fun v -> s *. v) t
 let offset ?(label = "offset") d t = Image.par_map ~label ~ptype:f8 (fun v -> v +. d) t

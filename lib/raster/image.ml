@@ -79,29 +79,29 @@ let mapi ?(label = "") ?ptype f t =
    size (disjoint writes, deterministic chunking).  The closure must be
    pure — it runs concurrently on pool domains. *)
 
-let par_init ?(label = "") ~nrow ~ncol ptype f =
+let par_init ?(label = "") ?cost ~nrow ~ncol ptype f =
   check_dims nrow ncol;
   let n = nrow * ncol in
   let data = Array.make n 0. in
-  Gaea_par.Pool.parallel_for_ranges ~lo:0 ~hi:n (fun clo chi ->
+  Gaea_par.Pool.parallel_for_ranges ?cost ~lo:0 ~hi:n (fun clo chi ->
       for i = clo to chi - 1 do
         Array.unsafe_set data i (Pixel.quantize ptype (f (i / ncol) (i mod ncol)))
       done);
   { nrow; ncol; ptype; label; data }
 
-let par_map ?(label = "") ?ptype f t =
+let par_map ?(label = "") ?ptype ?cost f t =
   let ptype = Option.value ptype ~default:t.ptype in
   let n = Array.length t.data in
   let src = t.data in
   let data = Array.make n 0. in
-  Gaea_par.Pool.parallel_for_ranges ~lo:0 ~hi:n (fun clo chi ->
+  Gaea_par.Pool.parallel_for_ranges ?cost ~lo:0 ~hi:n (fun clo chi ->
       for i = clo to chi - 1 do
         Array.unsafe_set data i
           (Pixel.quantize ptype (f (Array.unsafe_get src i)))
       done);
   { nrow = t.nrow; ncol = t.ncol; ptype; label; data }
 
-let par_map2 ?(label = "") ?ptype f a b =
+let par_map2 ?(label = "") ?ptype ?cost f a b =
   if not (img_size_eq a b) then
     invalid_arg
       (Printf.sprintf "Image.par_map2: size mismatch %dx%d vs %dx%d" a.nrow
@@ -110,7 +110,7 @@ let par_map2 ?(label = "") ?ptype f a b =
   let n = Array.length a.data in
   let xs = a.data and ys = b.data in
   let data = Array.make n 0. in
-  Gaea_par.Pool.parallel_for_ranges ~lo:0 ~hi:n (fun clo chi ->
+  Gaea_par.Pool.parallel_for_ranges ?cost ~lo:0 ~hi:n (fun clo chi ->
       for i = clo to chi - 1 do
         Array.unsafe_set data i
           (Pixel.quantize ptype
@@ -118,13 +118,13 @@ let par_map2 ?(label = "") ?ptype f a b =
       done);
   { nrow = a.nrow; ncol = a.ncol; ptype; label; data }
 
-let par_mapi ?(label = "") ?ptype f t =
+let par_mapi ?(label = "") ?ptype ?cost f t =
   let ptype = Option.value ptype ~default:t.ptype in
   let n = Array.length t.data in
   let ncol = t.ncol in
   let src = t.data in
   let data = Array.make n 0. in
-  Gaea_par.Pool.parallel_for_ranges ~lo:0 ~hi:n (fun clo chi ->
+  Gaea_par.Pool.parallel_for_ranges ?cost ~lo:0 ~hi:n (fun clo chi ->
       for i = clo to chi - 1 do
         Array.unsafe_set data i
           (Pixel.quantize ptype
@@ -151,22 +151,54 @@ let equal a b =
   && Pixel.equal a.ptype b.ptype
   && Array.for_all2 (fun x y -> float_bits x = float_bits y) a.data b.data
 
-(* FNV-1a over dims, pixel type and the raw float bits. *)
+(* FNV-1a over dims, pixel type and the raw float bits.  The 64-bit
+   state lives in two untagged 32-bit int limbs (hi, lo) so the loop
+   allocates no boxed Int64 per pixel; the limb arithmetic reproduces
+   64-bit [state <- (state lxor v) * 0x100000001b3] exactly (the prime
+   is 2^40 + 0x1b3, so the hi limb gets [xhi*0x1b3 + carry + xlo<<8]).
+   Values are unchanged from the boxed-Int64 implementation — a parity
+   test in test_raster.ml checks against it. *)
 let content_hash t =
-  let h = ref 0xcbf29ce484222325L in
-  let feed v =
-    h := Int64.mul (Int64.logxor !h v) 0x100000001b3L
+  let hi = ref 0xcbf29ce4 and lo = ref 0x84222325 in
+  let feed vhi vlo =
+    let xhi = !hi lxor vhi and xlo = !lo lxor vlo in
+    let m = xlo * 0x1b3 in
+    lo := m land 0xFFFFFFFF;
+    hi :=
+      ((xhi * 0x1b3) + (m lsr 32) + ((xlo land 0xFFFFFF) lsl 8))
+      land 0xFFFFFFFF
   in
-  feed (Int64.of_int t.nrow);
-  feed (Int64.of_int t.ncol);
-  feed (Int64.of_int (Pixel.size_bytes t.ptype));
-  Array.iter (fun v -> feed (float_bits v)) t.data;
-  Int64.to_int (Int64.shift_right_logical !h 2)
+  let feed_int v = feed ((v asr 32) land 0xFFFFFFFF) (v land 0xFFFFFFFF) in
+  feed_int t.nrow;
+  feed_int t.ncol;
+  feed_int (Pixel.size_bytes t.ptype);
+  Array.iter
+    (fun v ->
+      if Float.is_nan v then feed 0x7ff80000 0
+      else begin
+        (* low 63 bits via to_int; the sign bit read off the float *)
+        let lo63 = Int64.to_int (Int64.bits_of_float v) in
+        let vhi =
+          ((lo63 lsr 32) land 0x7FFFFFFF)
+          lor (if v < 0. || (v = 0. && 1. /. v < 0.) then 0x80000000 else 0)
+        in
+        feed vhi (lo63 land 0xFFFFFFFF)
+      end)
+    t.data;
+  (!hi lsl 30) lor (!lo lsr 2)
 
+(* NaN pixels (cloud holes) are skipped; an all-NaN image yields
+   (infinity, neg_infinity) *)
 let min_max t =
-  Array.fold_left
-    (fun (lo, hi) v -> (Float.min lo v, Float.max hi v))
-    (infinity, neg_infinity) t.data
+  let lo = ref infinity and hi = ref neg_infinity in
+  Array.iter
+    (fun v ->
+      if not (Float.is_nan v) then begin
+        if v < !lo then lo := v;
+        if v > !hi then hi := v
+      end)
+    t.data;
+  (!lo, !hi)
 
 let to_list t = Array.to_list t.data
 
@@ -181,6 +213,14 @@ let of_array ?(label = "") ~nrow ~ncol ptype data =
 
 let unsafe_data t = t.data
 
+let unsafe_of_array ?(label = "") ~nrow ~ncol ptype data =
+  check_dims nrow ncol;
+  if Array.length data <> nrow * ncol then
+    invalid_arg
+      (Printf.sprintf "Image.unsafe_of_array: %d values for %dx%d image"
+         (Array.length data) nrow ncol);
+  { nrow; ncol; ptype; label; data }
+
 let pp fmt t =
   Format.fprintf fmt "image<%dx%d:%s%s>" t.nrow t.ncol
     (Pixel.to_string t.ptype)
@@ -193,9 +233,12 @@ let pp_ascii ?(levels = " .:-=+*#%@") fmt t =
   for r = 0 to t.nrow - 1 do
     for c = 0 to t.ncol - 1 do
       let v = t.data.((r * t.ncol) + c) in
-      let i = int_of_float ((v -. lo) /. span *. float_of_int (n - 1)) in
-      let i = if i < 0 then 0 else if i >= n then n - 1 else i in
-      Format.pp_print_char fmt levels.[i]
+      if Float.is_nan v then Format.pp_print_char fmt '?'
+      else begin
+        let i = int_of_float ((v -. lo) /. span *. float_of_int (n - 1)) in
+        let i = if i < 0 then 0 else if i >= n then n - 1 else i in
+        Format.pp_print_char fmt levels.[i]
+      end
     done;
     Format.pp_print_newline fmt ()
   done

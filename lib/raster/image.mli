@@ -51,18 +51,21 @@ val mapi : ?label:string -> ?ptype:Pixel.t -> (int -> int -> float -> float)
     Same semantics (and bit-identical results, at any pool size) as
     {!init} / {!map} / {!map2} / {!mapi}, but chunked across the
     {!Gaea_par.Pool} domains.  The closure runs concurrently on pool
-    domains and must be pure — no hidden RNG or accumulator state. *)
+    domains and must be pure — no hidden RNG or accumulator state.
+    [?cost] is the per-pixel work estimate relative to one float add
+    (default 1.0), fed to the pool's adaptive sequential cutoff. *)
 
-val par_init : ?label:string -> nrow:int -> ncol:int -> Pixel.t
-  -> (int -> int -> float) -> t
+val par_init : ?label:string -> ?cost:float -> nrow:int -> ncol:int
+  -> Pixel.t -> (int -> int -> float) -> t
 
-val par_map : ?label:string -> ?ptype:Pixel.t -> (float -> float) -> t -> t
+val par_map : ?label:string -> ?ptype:Pixel.t -> ?cost:float
+  -> (float -> float) -> t -> t
 
-val par_map2 : ?label:string -> ?ptype:Pixel.t -> (float -> float -> float)
-  -> t -> t -> t
+val par_map2 : ?label:string -> ?ptype:Pixel.t -> ?cost:float
+  -> (float -> float -> float) -> t -> t -> t
 (** @raise Invalid_argument if sizes differ. *)
 
-val par_mapi : ?label:string -> ?ptype:Pixel.t
+val par_mapi : ?label:string -> ?ptype:Pixel.t -> ?cost:float
   -> (int -> int -> float -> float) -> t -> t
 
 val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
@@ -77,9 +80,15 @@ val equal : t -> t -> bool
 
 val content_hash : t -> int
 (** Deterministic hash of dims, type and pixel data — used by the
-    reproducibility experiments to compare derivation outputs. *)
+    reproducibility experiments to compare derivation outputs and as
+    the result-cache key, so the loop runs on untagged ints (no boxed
+    [Int64] per pixel). *)
 
 val min_max : t -> float * float
+(** Smallest and largest non-NaN pixel values; NaN pixels (cloud
+    holes) are skipped.  An all-NaN image yields
+    [(infinity, neg_infinity)]. *)
+
 val to_list : t -> float list
 val of_array : ?label:string -> nrow:int -> ncol:int -> Pixel.t
   -> float array -> t
@@ -88,6 +97,13 @@ val of_array : ?label:string -> nrow:int -> ncol:int -> Pixel.t
 val unsafe_data : t -> float array
 (** The backing store (shared, not copied).  Mutating it bypasses
     quantization; reserved for operator implementations in this library. *)
+
+val unsafe_of_array : ?label:string -> nrow:int -> ncol:int -> Pixel.t
+  -> float array -> t
+(** Wrap an array as an image {e without} copying or quantizing — the
+    caller promises the values already fit the pixel type.  Reserved
+    for the fused kernels in {!Kernelized}.
+    @raise Invalid_argument if the array length is not [nrow*ncol]. *)
 
 val pp : Format.formatter -> t -> unit
 (** Summary line, not the pixel data. *)

@@ -1,17 +1,9 @@
-let sum img = Image.fold ( +. ) 0. img
-
-let mean img = sum img /. float_of_int (Image.size img)
-
-let variance img =
-  let n = Image.size img in
-  if n < 2 then 0.
-  else
-    let m = mean img in
-    let acc =
-      Image.fold (fun acc v -> acc +. ((v -. m) *. (v -. m))) 0. img
-    in
-    acc /. float_of_int (n - 1)
-
+(* Fused closure-free loops; same accumulation association as the
+   Image.fold versions for single-chunk images, chunk-deterministic
+   (identical at any pool size) beyond that. *)
+let sum = Kernelized.sum
+let mean = Kernelized.mean
+let variance img = snd (Kernelized.mean_var img)
 let stddev img = sqrt (variance img)
 
 let histogram ?(bins = 16) img =
@@ -34,8 +26,12 @@ let histogram ?(bins = 16) img =
       (lo +. (w *. float_of_int i), lo +. (w *. float_of_int (i + 1)),
        counts.(i)))
 
-let band_covariance c = Matrix.covariance (Composite.to_matrix c)
-let band_correlation c = Matrix.correlation (Composite.to_matrix c)
+(* Bit-identical to [Matrix.covariance (Composite.to_matrix c)] but
+   without materializing the observation matrix. *)
+let band_covariance c = snd (Kernelized.band_mean_cov c)
+
+let band_correlation c =
+  Matrix.correlation_of_covariance (snd (Kernelized.band_mean_cov c))
 
 let percentile img p =
   if p < 0. || p > 100. then invalid_arg "Imgstats.percentile";

@@ -21,7 +21,8 @@ let resize_nearest img ~nrow ~ncol =
 
 let resize_bilinear img ~nrow ~ncol =
   let src_r = Image.img_nrow img and src_c = Image.img_ncol img in
-  Image.par_init ~label:"resize-bilinear" ~nrow ~ncol Pixel.Float8 (fun r c ->
+  Image.par_init ~label:"resize-bilinear" ~cost:16. ~nrow ~ncol Pixel.Float8
+    (fun r c ->
       (* map output pixel center into source coordinates *)
       let fy =
         (float_of_int r +. 0.5) /. float_of_int nrow *. float_of_int src_r

@@ -73,7 +73,11 @@ let run ~seed ~max_iter composite k =
   let n = Composite.n_pixels composite in
   let dims = Composite.n_bands composite in
   let points = Array.make n [||] in
-  Pool.parallel_for ~lo:0 ~hi:n (fun i ->
+  (* cost hints below: per-pixel work relative to one float add, so the
+     pool's adaptive cutoff still engages for these expensive kernels
+     at sizes where a plain subtraction would stay sequential *)
+  let fdims = float_of_int dims in
+  Pool.parallel_for ~cost:(8. *. fdims) ~lo:0 ~hi:n (fun i ->
       points.(i) <- Composite.pixel_vector composite i);
   let rng = Rng.create seed in
   let centroids = ref (seed_centroids rng points k) in
@@ -85,7 +89,9 @@ let run ~seed ~max_iter composite k =
     (* assignment step *)
     let cs = !centroids in
     changed :=
-      Pool.parallel_for_reduce ~lo:0 ~hi:n ~init:false ~reduce:( || )
+      Pool.parallel_for_reduce
+        ~cost:(3. *. float_of_int k *. fdims)
+        ~lo:0 ~hi:n ~init:false ~reduce:( || )
         (fun clo chi ->
           let any = ref false in
           for i = clo to chi - 1 do
@@ -99,7 +105,7 @@ let run ~seed ~max_iter composite k =
     (* update step; empty clusters keep their previous centroid *)
     if !changed then begin
       let partials =
-        Pool.map_chunks ~lo:0 ~hi:n (fun clo chi ->
+        Pool.map_chunks ~cost:(2. *. fdims) ~lo:0 ~hi:n (fun clo chi ->
             let sums = Array.init k (fun _ -> Array.make dims 0.) in
             let counts = Array.make k 0 in
             for i = clo to chi - 1 do
@@ -140,7 +146,8 @@ let run ~seed ~max_iter composite k =
   let final_centroids = Array.map (fun j -> !centroids.(j)) order in
   let cs = !centroids in
   let inertia =
-    Pool.parallel_for_reduce ~lo:0 ~hi:n ~init:0. ~reduce:( +. )
+    Pool.parallel_for_reduce ~cost:(3. *. fdims) ~lo:0 ~hi:n ~init:0.
+      ~reduce:( +. )
       (fun clo chi ->
         let acc = ref 0. in
         for i = clo to chi - 1 do

@@ -29,6 +29,16 @@ let par_init ~rows ~cols f =
 
 let identity n = init ~rows:n ~cols:n (fun i j -> if i = j then 1. else 0.)
 
+let unsafe_data t = t.data
+
+let unsafe_of_array ~rows ~cols data =
+  check_dims rows cols;
+  if Array.length data <> rows * cols then
+    invalid_arg
+      (Printf.sprintf "Matrix.unsafe_of_array: %d values for %dx%d"
+         (Array.length data) rows cols);
+  { rows; cols; data }
+
 let of_rows rs =
   let rows = Array.length rs in
   if rows = 0 then invalid_arg "Matrix.of_rows: empty";
@@ -92,7 +102,9 @@ let mul a b =
   (* parallel over output rows (disjoint writes, per-element order
      unchanged); grain sized so a chunk is ~64k multiply-adds *)
   let grain = Stdlib.max 1 (65536 / Stdlib.max 1 (a.cols * b.cols)) in
-  Pool.parallel_for_ranges ~grain ~lo:0 ~hi:a.rows (fun rlo rhi ->
+  Pool.parallel_for_ranges ~grain
+    ~cost:(float_of_int (a.cols * b.cols))
+    ~lo:0 ~hi:a.rows (fun rlo rhi ->
       for i = rlo to rhi - 1 do
         for k = 0 to a.cols - 1 do
           let aik = a.data.((i * a.cols) + k) in
@@ -188,7 +200,8 @@ let covariance t =
     acc
   in
   let total =
-    Pool.parallel_for_reduce ~lo:0 ~hi:t.rows ~init:(Array.make (k * k) 0.)
+    Pool.parallel_for_reduce ~cost:(float_of_int (k * k)) ~lo:0 ~hi:t.rows
+      ~init:(Array.make (k * k) 0.)
       ~reduce:(fun a b ->
         for i = 0 to (k * k) - 1 do
           a.(i) <- a.(i) +. b.(i)
@@ -199,14 +212,15 @@ let covariance t =
   let s = 1. /. float_of_int (t.rows - 1) in
   { rows = k; cols = k; data = Array.map (fun v -> s *. v) total }
 
-let correlation t =
-  let cov = covariance t in
+let correlation_of_covariance cov =
   let n = cols cov in
   let sd = Array.init n (fun i -> sqrt (get cov i i)) in
   init ~rows:n ~cols:n (fun i j ->
       if i = j then 1.
       else if sd.(i) = 0. || sd.(j) = 0. then 0.
       else get cov i j /. (sd.(i) *. sd.(j)))
+
+let correlation t = correlation_of_covariance (covariance t)
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>";

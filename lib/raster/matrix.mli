@@ -18,6 +18,15 @@ val identity : int -> t
 val of_rows : float array array -> t
 (** @raise Invalid_argument on ragged or empty input. *)
 
+val unsafe_data : t -> float array
+(** The row-major backing store (shared, not copied).  Reserved for the
+    fused kernels in {!Kernelized}. *)
+
+val unsafe_of_array : rows:int -> cols:int -> float array -> t
+(** Wrap a row-major array as a matrix without copying.  Reserved for
+    the fused kernels in {!Kernelized}.
+    @raise Invalid_argument if the array length is not [rows*cols]. *)
+
 val rows : t -> int
 val cols : t -> int
 val get : t -> int -> int -> float
@@ -53,5 +62,9 @@ val covariance : t -> t
 val correlation : t -> t
 (** Pearson correlation of the columns.  Zero-variance columns yield
     zero off-diagonal entries and a unit diagonal. *)
+
+val correlation_of_covariance : t -> t
+(** The correlation matrix derived from an already-computed covariance
+    matrix — lets fused callers reuse {!Kernelized.band_mean_cov}. *)
 
 val pp : Format.formatter -> t -> unit

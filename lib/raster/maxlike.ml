@@ -129,8 +129,12 @@ let classify model composite =
    | [] -> invalid_arg "Maxlike.classify: empty model"
    | _ -> ());
   let nrow = Composite.nrow composite and ncol = Composite.ncol composite in
-  (* per-pixel argmax is independent: parallel across the pool *)
-  Image.par_init ~label:"maxlike" ~nrow ~ncol Pixel.Int4 (fun r c ->
+  (* per-pixel argmax is independent: parallel across the pool; the
+     cost hint (classes * dims^2 mahalanobis work) keeps the adaptive
+     cutoff from forcing this expensive kernel sequential *)
+  let dims = float_of_int (Composite.n_bands composite) in
+  let cost = 4. *. float_of_int (List.length model) *. dims *. dims in
+  Image.par_init ~label:"maxlike" ~cost ~nrow ~ncol Pixel.Int4 (fun r c ->
       let v = Composite.pixel_vector composite ((r * ncol) + c) in
       let best, _ =
         List.fold_left

@@ -1,9 +1,7 @@
+(* Fused (nir - red) / (nir + red); the closure form over par_map2 is
+   kept as the reference in the parity tests. *)
 let ndvi ?(label = "ndvi") ~red ~nir () =
-  Image.par_map2 ~label ~ptype:Pixel.Float8
-    (fun r n ->
-      let d = n +. r in
-      if d = 0. then 0. else (n -. r) /. d)
-    red nir
+  Kernelized.normalized_diff ~label nir red
 
 let change_by_subtraction a b = Band_math.subtract ~label:"ndvi-change-sub" a b
 let change_by_division a b = Band_math.divide ~label:"ndvi-change-div" a b

@@ -5,7 +5,7 @@ type result = {
   explained : float array;
 }
 
-let convert_image_matrix = Composite.to_matrix
+let convert_image_matrix = Kernelized.to_matrix
 let compute_covariance = Matrix.covariance
 let compute_correlation = Matrix.correlation
 let get_eigen_vector m = Eigen.decompose m
@@ -13,7 +13,7 @@ let get_eigen_vector m = Eigen.decompose m
 let linear_combination observations loadings = Matrix.mul observations loadings
 
 let convert_matrix_image ~nrow ~ncol m =
-  Composite.of_matrix ~nrow ~ncol Pixel.Float8 m
+  Kernelized.of_matrix ~nrow ~ncol Pixel.Float8 m
 
 let run ~standardize ?components composite =
   let nrow = Composite.nrow composite and ncol = Composite.ncol composite in

@@ -232,6 +232,151 @@ let test_restore_is_event_silent () =
     (Events.seen (Kernel.bus k2))
 
 (* ------------------------------------------------------------------ *)
+(* Compound scheduler determinism                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The deriver evaluates independent compound steps concurrently on
+   the domain pool but commits them strictly in step order: oids, task
+   ids and the full event log must be identical at any pool size. *)
+
+module Pool = Gaea_par.Pool
+
+(* On a single-domain host the adaptive cutoff (max_int) would keep the
+   scheduler sequential and these tests would compare sequential with
+   itself — force the parallel path so the batch scheduler really runs. *)
+let with_pool_size n f =
+  let saved = Pool.size () in
+  Pool.set_size n;
+  Pool.set_min_parallel_work (Some 0);
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.set_min_parallel_work None;
+      Pool.set_size saved)
+    f
+
+(* src --neg--> c_neg --fin--> c_fin, src --dbl--> c_dbl; the compound
+   "pipeline" runs [neg x; dbl x; fin (step 0)] — steps 0 and 1 are
+   independent (batched together when the pool has lanes), step 2
+   depends on step 0.  "twice" runs [neg x; neg x] — the duplicate
+   step must register a cache hit, not a second execution. *)
+let fan_kernel () =
+  let k = Kernel.create () in
+  let base_attrs =
+    [ ("data", Vtype.Image); ("spatialextent", Vtype.Box);
+      ("timestamp", Vtype.Abstime) ]
+  in
+  ok
+    (Kernel.define_class k
+       (ok
+          (Schema.define ~name:"src"
+             ~attributes:(("tag", Vtype.Int) :: base_attrs) ())));
+  List.iter
+    (fun (cls, proc) ->
+      ok
+        (Kernel.define_class k
+           (ok (Schema.define ~name:cls ~attributes:base_attrs ~derived_by:proc ()))))
+    [ ("c_neg", "neg"); ("c_dbl", "dbl"); ("c_fin", "pipeline") ];
+  let open Template in
+  let prim name out arg_cls arg factor =
+    ok
+      (Process.define_primitive ~name ~output_class:out
+         ~args:[ Process.scalar_arg arg arg_cls ]
+         ~template:
+           (make ~assertions:[]
+              ~mappings:
+                [ { target = "data";
+                    rhs =
+                      Apply
+                        ("img_scale",
+                         [ Const (Value.float factor); Attr_of (arg, "data") ]) };
+                  { target = "spatialextent"; rhs = Attr_of (arg, "spatialextent") };
+                  { target = "timestamp"; rhs = Attr_of (arg, "timestamp") } ])
+         ())
+  in
+  ok (Kernel.define_process k (prim "neg" "c_neg" "src" "x" (-1.)));
+  ok (Kernel.define_process k (prim "dbl" "c_dbl" "src" "x" 2.));
+  ok (Kernel.define_process k (prim "fin" "c_fin" "c_neg" "y" 10.));
+  let step proc bindings = { Process.step_process = proc; step_inputs = bindings } in
+  ok
+    (Kernel.define_process k
+       (ok
+          (Process.define_compound ~name:"pipeline" ~output_class:"c_fin"
+             ~args:[ Process.scalar_arg "x" "src" ]
+             ~steps:
+               [ step "neg" [ ("x", Process.From_arg "x") ];
+                 step "dbl" [ ("x", Process.From_arg "x") ];
+                 step "fin" [ ("y", Process.From_step 0) ] ]
+             ())));
+  ok
+    (Kernel.define_process k
+       (ok
+          (Process.define_compound ~name:"twice" ~output_class:"c_neg"
+             ~args:[ Process.scalar_arg "x" "src" ]
+             ~steps:
+               [ step "neg" [ ("x", Process.From_arg "x") ];
+                 step "neg" [ ("x", Process.From_arg "x") ] ]
+             ())));
+  k
+
+(* a fresh kernel per run, so oid / task-id / event sequences line up *)
+let run_compound name lanes =
+  with_pool_size lanes (fun () ->
+      let k = fan_kernel () in
+      let oid = insert_src k 1 2.0 in
+      let p = Option.get (Kernel.find_process k name) in
+      let task = ok (Kernel.execute_process k p ~inputs:[ ("x", [ oid ]) ]) in
+      let log =
+        List.map
+          (fun (seq, ev) -> Printf.sprintf "%d %s" seq (Events.event_to_string ev))
+          (Kernel.event_log k)
+      in
+      let tasks =
+        List.map
+          (fun (t : Task.t) -> (t.Task.task_id, t.Task.process, t.Task.outputs))
+          (Kernel.tasks k)
+      in
+      (log, tasks, (task.Task.task_id, task.Task.process, task.Task.outputs)))
+
+let test_scheduler_determinism () =
+  let log1, tasks1, final1 = run_compound "pipeline" 1 in
+  check_int "one task per primitive step" 3 (List.length tasks1);
+  List.iter
+    (fun lanes ->
+      let log, tasks, final = run_compound "pipeline" lanes in
+      Alcotest.(check (list string))
+        (Printf.sprintf "event log identical @%d" lanes)
+        log1 log;
+      check_bool
+        (Printf.sprintf "tasks identical @%d" lanes)
+        true (tasks = tasks1);
+      check_bool
+        (Printf.sprintf "final task identical @%d" lanes)
+        true (final = final1))
+    [ 2; 8 ]
+
+let test_scheduler_duplicate_step_hits_cache () =
+  let log1, tasks1, final1 = run_compound "twice" 1 in
+  check_int "duplicate step served from cache" 1 (List.length tasks1);
+  let hits log =
+    List.length
+      (List.filter (fun l -> String.length l > 0 &&
+                             String.split_on_char ' ' l
+                             |> fun ws -> List.exists (( = ) "cache_hit") ws)
+         log)
+  in
+  check_bool "at least one hit logged" true (hits log1 >= 1);
+  List.iter
+    (fun lanes ->
+      let log, tasks, final = run_compound "twice" lanes in
+      Alcotest.(check (list string))
+        (Printf.sprintf "event log identical @%d" lanes)
+        log1 log;
+      check_bool
+        (Printf.sprintf "tasks identical @%d" lanes)
+        true (tasks = tasks1 && final = final1))
+    [ 2; 8 ]
+
+(* ------------------------------------------------------------------ *)
 (* Persistence round-trip property                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -290,4 +435,7 @@ let () =
           tc "invalidation on class mutation"
             test_invalidation_events_on_class_mutation;
           tc "restore is event-silent" test_restore_is_event_silent ] );
+      ( "scheduler",
+        [ tc "step-parallel determinism" test_scheduler_determinism;
+          tc "duplicate step hits cache" test_scheduler_duplicate_step_hits_cache ] );
       qsuite "persist" [ persist_roundtrip_prop ] ]

@@ -1,7 +1,9 @@
 (* Tests for the domain pool (lib/par) and for the parity invariant the
    parallel raster kernels rely on: chunk layout depends only on
    (lo, hi, grain), reductions combine in ascending chunk order, so a
-   kernel produces bit-identical results at any pool size. *)
+   kernel produces bit-identical results at any pool size — and the
+   fused closure-free kernels are bit-identical to their map/map2/fold
+   reference implementations. *)
 
 open Gaea_raster
 module Pool = Gaea_par.Pool
@@ -9,6 +11,13 @@ module Pool = Gaea_par.Pool
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let tc name f = Alcotest.test_case name `Quick f
+
+(* On a single-core host the adaptive cutoff resolves to max_int and
+   every entry point would take the sequential path — all the parity
+   tests below would silently compare sequential against sequential.
+   Forcing the cutoff to 0 keeps the dispatch machinery engaged
+   regardless of the host. *)
+let () = Pool.set_min_parallel_work (Some 0)
 
 (* run [f] with the pool forced to [n] lanes, restoring the default *)
 let with_size n f =
@@ -56,6 +65,21 @@ let test_map_chunks_layout_independent_of_size () =
     l4;
   check_bool "chunks contiguous and grain-aligned" true !contiguous
 
+let test_grain_exceeds_range () =
+  (* a grain larger than the range degrades to a single chunk covering
+     the whole interval, on both the chunked and the iteration paths *)
+  with_size 4 (fun () ->
+      let chunks =
+        Pool.map_chunks ~grain:10_000 ~lo:5 ~hi:105 (fun lo hi -> (lo, hi))
+      in
+      Alcotest.(check (array (pair int int))) "one whole-range chunk"
+        [| (5, 105) |] chunks;
+      let a = Array.make 100 0 in
+      Pool.parallel_for ~grain:10_000 ~lo:0 ~hi:100 (fun i -> a.(i) <- 1);
+      check_bool "covered" true (Array.for_all (( = ) 1) a);
+      check_int "empty range has no chunks" 0
+        (Array.length (Pool.map_chunks ~grain:10 ~lo:7 ~hi:7 (fun _ _ -> ()))))
+
 let test_reduce_combines_in_chunk_order () =
   (* list append is not commutative: any out-of-order combine shows up *)
   let run lanes =
@@ -94,6 +118,26 @@ let test_exception_propagates () =
       in
       check_bool "body exception re-raised to caller" true raised)
 
+let test_pool_reusable_after_exception () =
+  (* a chunk exception must not wedge the pool: the remaining chunks
+     still drain and the next dispatch works normally *)
+  with_size 4 (fun () ->
+      (try
+         Pool.parallel_for ~grain:10 ~lo:0 ~hi:1000 (fun i ->
+             if i = 500 then failwith "kaboom")
+       with Failure _ -> ());
+      let n = 10_000 in
+      let total =
+        Pool.parallel_for_reduce ~grain:100 ~lo:0 ~hi:n ~init:0 ~reduce:( + )
+          (fun lo hi ->
+            let acc = ref 0 in
+            for i = lo to hi - 1 do
+              acc := !acc + i
+            done;
+            !acc)
+      in
+      check_int "pool still dispatches" (n * (n - 1) / 2) total)
+
 let test_nested_region_falls_back () =
   (* a parallel body issuing another parallel call must not deadlock:
      the inner call detects the region and runs sequentially *)
@@ -113,64 +157,315 @@ let test_set_size_clamps () =
       Pool.set_size 0;
       check_int "clamped to 1" 1 (Pool.size ()))
 
+let test_set_size_deferred_inside_region () =
+  (* resizing from inside a parallel region would deadlock on the
+     region mutex; the request is recorded instead and applied at the
+     next region entry *)
+  with_size 4 (fun () ->
+      Pool.parallel_for_ranges ~grain:64 ~lo:0 ~hi:1024 (fun _ _ ->
+          Pool.set_size 2);
+      check_int "request applied after the region" 2 (Pool.size ());
+      (* the resized pool dispatches fine *)
+      let a = Array.make 5000 0 in
+      Pool.parallel_for ~lo:0 ~hi:5000 (fun i -> a.(i) <- 1);
+      check_bool "resized pool works" true (Array.for_all (( = ) 1) a))
+
+let test_cutoff_override () =
+  Fun.protect
+    ~finally:(fun () -> Pool.set_min_parallel_work (Some 0))
+    (fun () ->
+      Pool.set_min_parallel_work (Some 123);
+      check_int "override respected" 123 (Pool.min_parallel_work ());
+      (* a cutoff above the range size forces the sequential path;
+         results are unchanged *)
+      Pool.set_min_parallel_work (Some max_int);
+      with_size 4 (fun () ->
+          let n = 10_000 in
+          let a = Array.make n 0 in
+          Pool.parallel_for ~lo:0 ~hi:n (fun i -> a.(i) <- i + 1);
+          let ok = ref true in
+          Array.iteri (fun i v -> if v <> i + 1 then ok := false) a;
+          check_bool "sequential fallback correct" true !ok))
+
 (* ------------------------------------------------------------------ *)
-(* Parity: kernels are bit-identical at pool size 1 and size 4.        *)
-(* 72x72 = 5184 pixels > default grain, so size 4 really runs the      *)
-(* multi-chunk path.                                                   *)
+(* parallel_batch                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_batch_order () =
+  let run lanes =
+    with_size lanes (fun () ->
+        Pool.parallel_batch (Array.init 20 (fun i () -> (i * i) + 1)))
+  in
+  Alcotest.(check (array int)) "results land in slot order"
+    (Array.init 20 (fun i -> (i * i) + 1))
+    (run 4);
+  Alcotest.(check (array int)) "same at size 1" (run 1) (run 4);
+  check_int "empty batch" 0
+    (Array.length (with_size 4 (fun () -> Pool.parallel_batch [||])))
+
+let test_batch_exception_runs_all () =
+  (* a raising thunk must not skip the others, and the first error (in
+     claim order) is re-raised after the whole batch completes — the
+     sequential fallback matches this exactly *)
+  let check_at lanes =
+    with_size lanes (fun () ->
+        let ran = Array.init 8 (fun _ -> Atomic.make false) in
+        let raised =
+          try
+            ignore
+              (Pool.parallel_batch
+                 (Array.init 8 (fun i () ->
+                      Atomic.set ran.(i) true;
+                      if i = 3 then failwith "thunk-3";
+                      i)));
+            false
+          with Failure m -> m = "thunk-3"
+        in
+        check_bool
+          (Printf.sprintf "exception re-raised @%d" lanes)
+          true raised;
+        check_bool
+          (Printf.sprintf "every thunk still ran @%d" lanes)
+          true
+          (Array.for_all Atomic.get ran))
+  in
+  check_at 1;
+  check_at 4
+
+let test_batch_nested_falls_back () =
+  with_size 4 (fun () ->
+      let out = Array.make 8 [||] in
+      Pool.parallel_for ~grain:1 ~lo:0 ~hi:8 (fun i ->
+          out.(i) <- Pool.parallel_batch (Array.init 4 (fun j () -> (i * 4) + j)));
+      let ok = ref true in
+      Array.iteri
+        (fun i b ->
+          if b <> Array.init 4 (fun j -> (i * 4) + j) then ok := false)
+        out;
+      check_bool "nested batches completed sequentially" true !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Parity: kernels are bit-identical at pool sizes 1, 2 and 8.         *)
+(* 72x72 = 5184 pixels > default grain, so multi-lane runs really      *)
+(* take the multi-chunk path.                                          *)
 (* ------------------------------------------------------------------ *)
 
 let scene = lazy (Synthetic.landsat_scene ~seed:5 ~nrow:72 ~ncol:72 ())
+let par_sizes = [ 2; 8 ]
 
 let test_parity_kmeans () =
   let s = Lazy.force scene in
-  let r1 =
-    with_size 1 (fun () -> Kmeans.unsuperclassify ~seed:3 s.Synthetic.composite 6)
+  let run lanes =
+    with_size lanes (fun () -> Kmeans.unsuperclassify ~seed:3 s.Synthetic.composite 6)
   in
-  let r4 =
-    with_size 4 (fun () -> Kmeans.unsuperclassify ~seed:3 s.Synthetic.composite 6)
-  in
-  check_bool "labels bit-identical" true
-    (Image.equal r1.Kmeans.labels r4.Kmeans.labels);
-  check_bool "centroids bit-identical" true
-    (r1.Kmeans.centroids = r4.Kmeans.centroids);
-  check_bool "inertia bit-identical" true
-    (Float.equal r1.Kmeans.inertia r4.Kmeans.inertia);
-  check_int "same iterations" r1.Kmeans.iterations r4.Kmeans.iterations
+  let r1 = run 1 in
+  List.iter
+    (fun lanes ->
+      let r = run lanes in
+      check_bool
+        (Printf.sprintf "labels bit-identical @%d" lanes)
+        true
+        (Image.equal r1.Kmeans.labels r.Kmeans.labels);
+      check_bool
+        (Printf.sprintf "centroids bit-identical @%d" lanes)
+        true
+        (r1.Kmeans.centroids = r.Kmeans.centroids);
+      check_bool
+        (Printf.sprintf "inertia bit-identical @%d" lanes)
+        true
+        (Float.equal r1.Kmeans.inertia r.Kmeans.inertia);
+      check_int
+        (Printf.sprintf "same iterations @%d" lanes)
+        r1.Kmeans.iterations r.Kmeans.iterations)
+    par_sizes
 
 let test_parity_maxlike () =
   let s = Lazy.force scene in
   let model = Maxlike.train s.Synthetic.composite s.Synthetic.truth in
   let c1 = with_size 1 (fun () -> Maxlike.classify model s.Synthetic.composite) in
-  let c4 = with_size 4 (fun () -> Maxlike.classify model s.Synthetic.composite) in
-  check_bool "labels bit-identical" true (Image.equal c1 c4)
+  List.iter
+    (fun lanes ->
+      let c = with_size lanes (fun () -> Maxlike.classify model s.Synthetic.composite) in
+      check_bool
+        (Printf.sprintf "labels bit-identical @%d" lanes)
+        true (Image.equal c1 c))
+    par_sizes
 
 let test_parity_composite_matrix () =
   let s = Lazy.force scene in
   let comp = s.Synthetic.composite in
   let m1 = with_size 1 (fun () -> Composite.to_matrix comp) in
-  let m4 = with_size 4 (fun () -> Composite.to_matrix comp) in
-  check_bool "to_matrix bit-identical" true (Matrix.equal m1 m4);
   let back lanes =
     with_size lanes (fun () ->
         Composite.of_matrix ~nrow:(Composite.nrow comp)
           ~ncol:(Composite.ncol comp) Pixel.Float8 m1)
   in
-  check_bool "of_matrix bit-identical" true
-    (Composite.equal (back 1) (back 4))
+  let b1 = back 1 in
+  List.iter
+    (fun lanes ->
+      let m = with_size lanes (fun () -> Composite.to_matrix comp) in
+      check_bool
+        (Printf.sprintf "to_matrix bit-identical @%d" lanes)
+        true (Matrix.equal m1 m);
+      check_bool
+        (Printf.sprintf "of_matrix bit-identical @%d" lanes)
+        true
+        (Composite.equal b1 (back lanes)))
+    par_sizes
 
 let test_parity_ndvi () =
   let red, nir = Synthetic.red_nir_pair ~seed:8 ~nrow:72 ~ncol:72 () in
   let n1 = with_size 1 (fun () -> Ndvi.ndvi ~red ~nir ()) in
-  let n4 = with_size 4 (fun () -> Ndvi.ndvi ~red ~nir ()) in
-  check_bool "ndvi bit-identical" true (Image.equal n1 n4)
+  List.iter
+    (fun lanes ->
+      let n = with_size lanes (fun () -> Ndvi.ndvi ~red ~nir ()) in
+      check_bool
+        (Printf.sprintf "ndvi bit-identical @%d" lanes)
+        true (Image.equal n1 n))
+    par_sizes
 
 let test_parity_covariance () =
   let s = Lazy.force scene in
   let obs = Composite.to_matrix s.Synthetic.composite in
   let c1 = with_size 1 (fun () -> Matrix.covariance obs) in
-  let c4 = with_size 4 (fun () -> Matrix.covariance obs) in
-  (* exact, not approx: partial sums combine in chunk order *)
-  check_bool "covariance bit-identical" true (Matrix.equal c1 c4)
+  List.iter
+    (fun lanes ->
+      let c = with_size lanes (fun () -> Matrix.covariance obs) in
+      (* exact, not approx: partial sums combine in chunk order *)
+      check_bool
+        (Printf.sprintf "covariance bit-identical @%d" lanes)
+        true (Matrix.equal c1 c))
+    par_sizes
+
+(* ------------------------------------------------------------------ *)
+(* Fused kernels vs their closure references.  The sequential map /    *)
+(* map2 / fold implementations are the specification: the fused        *)
+(* closure-free loops must match them bit for bit, at every pool size. *)
+(* ------------------------------------------------------------------ *)
+
+let rn_pair = lazy (Synthetic.red_nir_pair ~seed:8 ~nrow:72 ~ncol:72 ())
+
+let check_fused name reference fused =
+  let img1 = with_size 1 fused in
+  check_bool (name ^ " matches reference") true (Image.equal reference img1);
+  List.iter
+    (fun lanes ->
+      check_bool
+        (Printf.sprintf "%s bit-identical @%d" name lanes)
+        true
+        (Image.equal img1 (with_size lanes fused)))
+    par_sizes
+
+let test_fused_band_math () =
+  let a, b = Lazy.force rn_pair in
+  check_fused "add"
+    (Image.map2 ~ptype:Pixel.Float8 ( +. ) a b)
+    (fun () -> Band_math.add a b);
+  check_fused "subtract"
+    (Image.map2 ~ptype:Pixel.Float8 (fun x y -> x -. y) a b)
+    (fun () -> Band_math.subtract a b)
+
+let test_fused_ndvi () =
+  let red, nir = Lazy.force rn_pair in
+  check_fused "ndvi"
+    (Image.map2 ~ptype:Pixel.Float8
+       (fun n r ->
+         let d = n +. r in
+         if d = 0. then 0. else (n -. r) /. d)
+       nir red)
+    (fun () -> Ndvi.ndvi ~red ~nir ())
+
+let test_fused_composite_matrix () =
+  let s = Lazy.force scene in
+  let comp = s.Synthetic.composite in
+  (* Composite.to_matrix / of_matrix are the references; Kernelized is
+     the fused path used by PCA *)
+  let reference = with_size 1 (fun () -> Composite.to_matrix comp) in
+  let m1 = with_size 1 (fun () -> Kernelized.to_matrix comp) in
+  check_bool "to_matrix matches reference" true (Matrix.equal reference m1);
+  List.iter
+    (fun lanes ->
+      check_bool
+        (Printf.sprintf "to_matrix bit-identical @%d" lanes)
+        true
+        (Matrix.equal m1 (with_size lanes (fun () -> Kernelized.to_matrix comp))))
+    par_sizes;
+  let nrow = Composite.nrow comp and ncol = Composite.ncol comp in
+  let ref_back =
+    with_size 1 (fun () -> Composite.of_matrix ~nrow ~ncol Pixel.Float8 m1)
+  in
+  let back lanes =
+    with_size lanes (fun () -> Kernelized.of_matrix ~nrow ~ncol Pixel.Float8 m1)
+  in
+  check_bool "of_matrix matches reference" true
+    (Composite.equal ref_back (back 1));
+  List.iter
+    (fun lanes ->
+      check_bool
+        (Printf.sprintf "of_matrix bit-identical @%d" lanes)
+        true
+        (Composite.equal ref_back (back lanes)))
+    par_sizes
+
+let test_fused_band_covariance () =
+  let s = Lazy.force scene in
+  let comp = s.Synthetic.composite in
+  let reference =
+    with_size 1 (fun () -> Matrix.covariance (Composite.to_matrix comp))
+  in
+  let c1 = with_size 1 (fun () -> Imgstats.band_covariance comp) in
+  check_bool "band_covariance matches Matrix.covariance" true
+    (Matrix.equal reference c1);
+  List.iter
+    (fun lanes ->
+      check_bool
+        (Printf.sprintf "band_covariance bit-identical @%d" lanes)
+        true
+        (Matrix.equal c1
+           (with_size lanes (fun () -> Imgstats.band_covariance comp))))
+    par_sizes
+
+let test_fused_imgstats_fold_parity () =
+  (* single-chunk image (below the default grain): the fused sum /
+     mean / variance must reproduce the sequential fold association
+     exactly, not just approximately *)
+  let rng = Rng.create 21 in
+  let img =
+    Image.init ~nrow:40 ~ncol:25 Pixel.Float8 (fun _ _ ->
+        Rng.float rng 2. -. 1.)
+  in
+  let n = float_of_int (Image.size img) in
+  let ref_sum = Image.fold ( +. ) 0. img in
+  let ref_mean = ref_sum /. n in
+  let ref_var =
+    Image.fold
+      (fun acc v ->
+        let d = v -. ref_mean in
+        acc +. (d *. d))
+      0. img
+    /. (n -. 1.)
+  in
+  with_size 4 (fun () ->
+      check_bool "sum = fold" true (Float.equal ref_sum (Imgstats.sum img));
+      check_bool "mean = fold" true (Float.equal ref_mean (Imgstats.mean img));
+      check_bool "variance = fold" true
+        (Float.equal ref_var (Imgstats.variance img)));
+  (* and on a multi-chunk image the chunked result is size-independent *)
+  let big = Lazy.force scene in
+  let band = List.hd (Composite.bands big.Synthetic.composite) in
+  let s1 = with_size 1 (fun () -> Imgstats.sum band) in
+  let v1 = with_size 1 (fun () -> Imgstats.variance band) in
+  List.iter
+    (fun lanes ->
+      check_bool
+        (Printf.sprintf "sum bit-identical @%d" lanes)
+        true
+        (Float.equal s1 (with_size lanes (fun () -> Imgstats.sum band)));
+      check_bool
+        (Printf.sprintf "variance bit-identical @%d" lanes)
+        true
+        (Float.equal v1 (with_size lanes (fun () -> Imgstats.variance band))))
+    par_sizes
 
 let () =
   Alcotest.run "par"
@@ -178,14 +473,28 @@ let () =
         [ tc "parallel_for covers" test_parallel_for_covers;
           tc "ranges partition" test_parallel_for_ranges_partition;
           tc "chunk layout vs size" test_map_chunks_layout_independent_of_size;
+          tc "grain exceeds range" test_grain_exceeds_range;
           tc "reduce order" test_reduce_combines_in_chunk_order;
           tc "reduce sum" test_reduce_sum;
           tc "exception propagates" test_exception_propagates;
+          tc "reusable after exception" test_pool_reusable_after_exception;
           tc "nested fallback" test_nested_region_falls_back;
-          tc "set_size clamps" test_set_size_clamps ] );
+          tc "set_size clamps" test_set_size_clamps;
+          tc "set_size deferred in region" test_set_size_deferred_inside_region;
+          tc "cutoff override" test_cutoff_override ] );
+      ( "batch",
+        [ tc "slot order" test_batch_order;
+          tc "exception runs all" test_batch_exception_runs_all;
+          tc "nested fallback" test_batch_nested_falls_back ] );
       ( "parity",
         [ tc "kmeans" test_parity_kmeans;
           tc "maxlike" test_parity_maxlike;
           tc "composite<->matrix" test_parity_composite_matrix;
           tc "ndvi" test_parity_ndvi;
-          tc "covariance" test_parity_covariance ] ) ]
+          tc "covariance" test_parity_covariance ] );
+      ( "fused",
+        [ tc "band math" test_fused_band_math;
+          tc "ndvi" test_fused_ndvi;
+          tc "composite<->matrix" test_fused_composite_matrix;
+          tc "band covariance" test_fused_band_covariance;
+          tc "imgstats fold parity" test_fused_imgstats_fold_parity ] ) ]

@@ -119,6 +119,59 @@ let test_image_hash_and_equal () =
   check_bool "not equal" false (Image.equal a b);
   check_bool "hash differs" true (Image.content_hash a <> Image.content_hash b)
 
+(* the boxed-Int64 FNV-1a loop content_hash replaced; the untagged-int
+   rewrite must produce the very same values *)
+let reference_content_hash img =
+  let h = ref 0xcbf29ce484222325L in
+  let feed v = h := Int64.mul (Int64.logxor !h v) 0x100000001b3L in
+  feed (Int64.of_int (Image.img_nrow img));
+  feed (Int64.of_int (Image.img_ncol img));
+  feed (Int64.of_int (Pixel.size_bytes (Image.img_type img)));
+  Image.iter
+    (fun v ->
+      feed
+        (if Float.is_nan v then 0x7ff8000000000000L else Int64.bits_of_float v))
+    img;
+  Int64.to_int (Int64.shift_right_logical !h 2)
+
+let test_image_hash_matches_boxed_reference () =
+  let images =
+    [ Image.of_array ~nrow:2 ~ncol:4 Pixel.Float8
+        [| 0.; -0.; 1.5; -273.15; Float.nan; infinity; neg_infinity; 1e-300 |];
+      Image.init ~nrow:17 ~ncol:13 Pixel.Float8 (fun r c ->
+          sin (float_of_int ((r * 13) + c)) *. 1000.);
+      Image.init ~nrow:5 ~ncol:5 Pixel.Char (fun r c -> float_of_int (r * c));
+      Image.init ~nrow:3 ~ncol:9 Pixel.Int2 (fun r c -> float_of_int ((r * 100) - c));
+      Image.create ~nrow:1 ~ncol:1 Pixel.Float4 ]
+  in
+  List.iteri
+    (fun i img ->
+      check_int
+        (Printf.sprintf "image %d hashes as before" i)
+        (reference_content_hash img) (Image.content_hash img))
+    images
+
+let test_image_min_max_skips_nan () =
+  (* regression: NaN pixels (cloud holes) used to poison min_max via
+     NaN comparisons; they are skipped now *)
+  let img =
+    Image.of_array ~nrow:1 ~ncol:5 Pixel.Float8
+      [| Float.nan; 2.; -3.; Float.nan; 7. |]
+  in
+  let lo, hi = Image.min_max img in
+  check_float "min skips nan" (-3.) lo;
+  check_float "max skips nan" 7. hi;
+  (* a leading NaN must not stick either *)
+  let leading = Image.of_array ~nrow:1 ~ncol:2 Pixel.Float8 [| Float.nan; 4. |] in
+  let lo, hi = Image.min_max leading in
+  check_float "min after leading nan" 4. lo;
+  check_float "max after leading nan" 4. hi;
+  (* all-NaN image: the empty-range convention *)
+  let all_nan = Image.init ~nrow:2 ~ncol:2 Pixel.Float8 (fun _ _ -> Float.nan) in
+  let lo, hi = Image.min_max all_nan in
+  check_bool "all-nan min" true (lo = infinity);
+  check_bool "all-nan max" true (hi = neg_infinity)
+
 let test_image_of_array_validation () =
   Alcotest.check_raises "length"
     (Invalid_argument "Image.of_array: 3 values for 2x2 image") (fun () ->
@@ -658,6 +711,8 @@ let () =
           tc "quantizes on write" test_image_quantizes_on_write;
           tc "map2 mismatch" test_image_map2_mismatch;
           tc "hash and equal" test_image_hash_and_equal;
+          tc "hash matches boxed reference" test_image_hash_matches_boxed_reference;
+          tc "min_max skips nan" test_image_min_max_skips_nan;
           tc "of_array validation" test_image_of_array_validation;
           tc "with_ptype" test_image_with_ptype;
           tc "ascii" test_image_ascii ] );
