@@ -1,10 +1,15 @@
 (* gaea — command-line front end to the Gaea kernel.
 
    Subcommands:
-     run <script>   execute a GaeaQL script file
-     repl           interactive shell (statements end with ';')
-     demo           load the paper's Fig 2/3/5 schema + data and show a tour
-     net            print the current derivation net as Graphviz dot *)
+     run <script>      execute a GaeaQL script file
+     repl              interactive shell (statements end with ';')
+     demo              load the paper's Fig 2/3/5 schema + data and show a tour
+     net               print the current derivation net as Graphviz dot
+     lint [<script>…]  run each script, then the static analyzer
+                       (gaea check) over the resulting kernel; exits
+                       non-zero on any error-severity finding
+
+   Unknown subcommands exit non-zero with a one-line hint (cmdliner). *)
 
 module Session = Gaea_query.Session
 module Kernel = Gaea_core.Kernel
@@ -141,6 +146,57 @@ let demo_cmd () =
             (Dot.to_dot ~marking:(Kernel.current_marking k) view.Kernel.net);
           0))
 
+let lint_kernel ~json ~label k =
+  let module Diag = Gaea_analysis.Diagnostic in
+  let ds = Gaea_analysis.Analysis.check_kernel k in
+  if json then
+    Printf.printf "{\"script\":%s,\"diagnostics\":%s}\n"
+      (match label with Some l -> Printf.sprintf "%S" l | None -> "null")
+      (Diag.render_json ds)
+  else begin
+    (match label with Some l -> Printf.printf "== %s ==\n" l | None -> ());
+    print_endline (Diag.render ds)
+  end;
+  Diag.has_errors ds
+
+let lint_cmd json load paths =
+  match paths with
+  | [] ->
+    (* nothing to run: lint the (possibly --load'ed) kernel directly *)
+    (match make_session load with
+     | Error e ->
+       Printf.eprintf "error: %s\n" (Gaea_core.Gaea_error.to_string e);
+       1
+     | Ok session ->
+       if lint_kernel ~json ~label:None (Session.kernel session) then 1
+       else 0)
+  | paths ->
+    let failed = ref false in
+    List.iter
+      (fun path ->
+        (* each script gets a fresh kernel so findings don't leak
+           between scripts *)
+        match
+          let* src = read_file path in
+          let* session = make_session load in
+          Ok (session, src)
+        with
+        | Error e ->
+          Printf.eprintf "%s: error: %s\n" path
+            (Gaea_core.Gaea_error.to_string e);
+          failed := true
+        | Ok (session, src) -> (
+          match Session.run_string_partial session src with
+          | _, Some e ->
+            Printf.eprintf "%s: error: %s\n" path
+              (Gaea_core.Gaea_error.to_string e);
+            failed := true
+          | _, None ->
+            if lint_kernel ~json ~label:(Some path) (Session.kernel session)
+            then failed := true))
+      paths;
+    if !failed then 1 else 0
+
 let net_cmd () =
   let k = Kernel.create () in
   match Figures.install_all k with
@@ -184,10 +240,27 @@ let net_t =
     (Cmd.info "net" ~doc:"Print the Fig 2 derivation net as Graphviz dot")
     Term.(const net_cmd $ const ())
 
+let lint_t =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit diagnostics as JSON, one array per script")
+  in
+  let paths =
+    Arg.(value & pos_all file [] & info [] ~docv:"SCRIPT")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run each GaeaQL script in a fresh kernel, then the gaea check \
+          static analyzer over the result; with no scripts, lint the \
+          --load'ed database.  Exits non-zero on any error-severity \
+          finding.")
+    Term.(const lint_cmd $ json $ load_arg $ paths)
+
 let main =
   Cmd.group
     (Cmd.info "gaea" ~version:"1.0.0"
        ~doc:"Gaea scientific DBMS — derived-data management (VLDB 1993)")
-    [ run_t; repl_t; demo_t; net_t ]
+    [ run_t; repl_t; demo_t; net_t; lint_t ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,48 @@
+(** [gaea check]: static analysis of process templates and derivation
+    nets.
+
+    Four passes over the catalog, the process registry and the
+    derivation net, reporting {!Diagnostic.t} findings:
+
+    - {b Template well-formedness} (GA001-GA013): every mapping target
+      exists in the output class schema, every argument reference
+      resolves, expressions type-check against the operator registry
+      (an inferred-type lattice keeps SETOF splice-ambiguity from
+      producing false positives).
+    - {b Cardinality satisfiability} (GA011-GA012): the [card(...)]
+      assertions of a template, intersected with the declared argument
+      cardinality bounds, leave a non-empty range.
+    - {b Compound nets} (GA020-GA028): expansion terminates (no direct
+      or mutual recursion through latest versions), step argument
+      bindings are complete and class-compatible (class mismatches
+      bridged by the concept ISA DAG downgrade to warnings), dead
+      steps are flagged, and the kernel-wide derivation net is checked
+      for dead transitions and underivable derived classes (reusing
+      {!Gaea_petri.Analysis}).
+    - {b Version lints} (GA030-GA032): tasks and live derived objects
+      referencing superseded process versions, classes DERIVED BY
+      unknown processes.
+
+    Severity calibration: a finding is an [Error] only when the
+    deriver would (or could never) fail at run time for the same
+    reason — a process the deriver executes successfully must produce
+    zero error-severity findings. *)
+
+val check_process :
+  Gaea_core.Kernel.t -> Gaea_core.Process.t -> Diagnostic.t list
+(** Template, cardinality and compound passes for one process, sorted
+    ({!Diagnostic.sort}). *)
+
+val check_kernel : Gaea_core.Kernel.t -> Diagnostic.t list
+(** {!check_process} over the latest version of every registered
+    process, plus the kernel-wide passes: class lints, version lints
+    and the derivation-net pass.  Sorted. *)
+
+val codes : (string * Diagnostic.severity * string) list
+(** The stable diagnostic catalogue: code, default severity, one-line
+    description — in code order.  [GA022]/[GA026] may downgrade from
+    [Error] to [Warning] when the mismatched classes are related
+    through the concept ISA DAG. *)
+
+val describe : string -> string option
+(** Description of a diagnostic code, if known. *)

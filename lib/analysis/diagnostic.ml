@@ -1,0 +1,98 @@
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  proc : string option;
+  version : int option;
+  element : string option;
+  message : string;
+}
+
+let make ~code ~severity ?proc ?version ?element message =
+  { code; severity; proc; version; element; message }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (
+    match String.compare a.code b.code with
+    | 0 -> (
+      match Stdlib.compare a.proc b.proc with
+      | 0 -> Stdlib.compare a.element b.element
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let sort ds = List.stable_sort compare ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let location d =
+  match d.proc with
+  | None -> ""
+  | Some p ->
+    let v =
+      match d.version with None -> "" | Some v -> Printf.sprintf " v%d" v
+    in
+    let e =
+      match d.element with None -> "" | Some e -> Printf.sprintf " (%s)" e
+    in
+    Printf.sprintf " process %s%s%s" p v e
+
+let to_string d =
+  Printf.sprintf "%s[%s]%s: %s"
+    (severity_to_string d.severity)
+    d.code (location d) d.message
+
+(* Minimal JSON string escaping: quotes, backslashes, control chars. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let json_opt_string = function
+  | None -> "null"
+  | Some s -> json_string s
+
+let to_json d =
+  Printf.sprintf
+    "{\"code\":%s,\"severity\":%s,\"process\":%s,\"version\":%s,\"element\":%s,\"message\":%s}"
+    (json_string d.code)
+    (json_string (severity_to_string d.severity))
+    (json_opt_string d.proc)
+    (match d.version with None -> "null" | Some v -> string_of_int v)
+    (json_opt_string d.element)
+    (json_string d.message)
+
+let render ds =
+  let lines = List.map to_string ds in
+  let summary =
+    Printf.sprintf "%d error(s), %d warning(s), %d info(s)" (count Error ds)
+      (count Warning ds) (count Info ds)
+  in
+  String.concat "\n" (lines @ [ summary ])
+
+let render_json ds =
+  Printf.sprintf "[%s]" (String.concat "," (List.map to_json ds))
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)

@@ -1,0 +1,57 @@
+(** Analyzer diagnostics: stable codes, severities, locations.
+
+    Every finding of {!Analysis} is a [Diagnostic.t] carrying a stable
+    code ([GA001]...), a severity, and enough location to point the
+    user at the offending process / version / template element.  The
+    same list renders human-readably ({!render}) and as JSON
+    ({!render_json}) for tooling. *)
+
+type severity = Error | Warning | Info
+
+type t = private {
+  code : string;  (** stable, e.g. ["GA001"] *)
+  severity : severity;
+  proc : string option;  (** process name, when process-scoped *)
+  version : int option;
+  element : string option;
+      (** template element / step / class attribute the finding is
+          anchored to, e.g. ["MAP C20.data"] or ["step 1 (classify)"] *)
+  message : string;
+}
+
+val make :
+  code:string ->
+  severity:severity ->
+  ?proc:string ->
+  ?version:int ->
+  ?element:string ->
+  string ->
+  t
+
+val severity_to_string : severity -> string
+val compare : t -> t -> int
+(** Errors first, then warnings, then infos; ties broken by code, then
+    process name, then element — a stable presentation order. *)
+
+val sort : t list -> t list
+
+val has_errors : t list -> bool
+(** True when any diagnostic has [Error] severity — the lint exit
+    condition. *)
+
+val count : severity -> t list -> int
+
+val to_string : t -> string
+(** One line: [error[GA001] process p v1 (MAP C20.data): message]. *)
+
+val to_json : t -> string
+(** One JSON object with [code], [severity], [process], [version],
+    [element], [message] fields (absent location fields are [null]). *)
+
+val render : t list -> string
+(** All diagnostics, one per line, followed by a summary line. *)
+
+val render_json : t list -> string
+(** A JSON array of {!to_json} objects. *)
+
+val pp : Format.formatter -> t -> unit

@@ -99,6 +99,7 @@ let delete_object t ~cls oid = Obj_store.delete t.objects ~cls oid
 let define_process t p = Proc_registry.define t.procs p
 let find_process t ?version name = Proc_registry.find t.procs ?version name
 let process_versions t name = Proc_registry.versions t.procs name
+let latest_process_version t name = Proc_registry.latest_version t.procs name
 let processes t = Proc_registry.latest t.procs
 let all_process_versions t = Proc_registry.all_versions t.procs
 

@@ -83,6 +83,9 @@ val find_process : t -> ?version:int -> string -> Process.t option
 val process_versions : t -> string -> Process.t list
 (** Ascending version order. *)
 
+val latest_process_version : t -> string -> int option
+(** Highest stored version of a process name, if any. *)
+
 val processes : t -> Process.t list
 (** Latest version of each process, sorted by name. *)
 

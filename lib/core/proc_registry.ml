@@ -64,6 +64,11 @@ let define t (p : Process.t) =
     end
   end
 
+let latest_version t name =
+  match List.rev (versions t name) with
+  | p :: _ -> Some p.Process.version
+  | [] -> None
+
 let latest t =
   Hashtbl.fold
     (fun name _ acc ->

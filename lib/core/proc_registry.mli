@@ -19,6 +19,9 @@ val versions : t -> string -> Process.t list
 val find : t -> ?version:int -> string -> Process.t option
 (** Latest version when [version] is omitted. *)
 
+val latest_version : t -> string -> int option
+(** Highest stored version of a process name, if any. *)
+
 val latest : t -> Process.t list
 (** Latest version of each process, sorted by name. *)
 

@@ -167,6 +167,14 @@ let edit t ~name ?doc ?params ?template ?output_class () =
       doc = Option.value doc ~default:t.doc;
       derived_from = Some (t.proc_name, t.version) }
 
+let with_version ?derived_from t version =
+  { t with
+    version;
+    derived_from =
+      (match derived_from with
+       | Some _ -> derived_from
+       | None -> t.derived_from) }
+
 let is_primitive t =
   match t.kind with
   | Primitive _ -> true
@@ -213,16 +221,18 @@ let pp fmt t =
      Format.fprintf fmt "@ %a" (Template.pp ~output_class:t.output_class) tmpl
    | Compound cs ->
      Format.fprintf fmt "@ @[<v 2>STEPS:";
+     (* steps are numbered from 1 in all user-facing output, matching
+        the GaeaQL STEP n syntax (From_step stays 0-based internally) *)
      List.iteri
        (fun i s ->
-         Format.fprintf fmt "@ %d: %s(%s)" i s.step_process
+         Format.fprintf fmt "@ %d: %s(%s)" (i + 1) s.step_process
            (String.concat ", "
               (List.map
                  (fun (arg, input) ->
                    Printf.sprintf "%s <- %s" arg
                      (match input with
                       | From_arg a -> a
-                      | From_step j -> Printf.sprintf "step %d" j))
+                      | From_step j -> Printf.sprintf "step %d" (j + 1)))
                  s.step_inputs)))
        cs;
      Format.fprintf fmt "@]");

@@ -84,6 +84,13 @@ val edit :
     name), recording [derived_from].  Template edits only apply to
     primitive processes. *)
 
+val with_version : ?derived_from:(string * int) -> t -> int -> t
+(** The same definition under a different version number.  Used when
+    re-defining an existing process name: the registry stores versions
+    immutably, so the new definition is installed as the next version.
+    [derived_from], when given, records the (name, version) this
+    definition supersedes. *)
+
 val is_primitive : t -> bool
 val is_compound : t -> bool
 val template : t -> Template.t option

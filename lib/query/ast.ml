@@ -44,6 +44,16 @@ type arg_syntax = {
   sa_card : (int * int option) option;
 }
 
+type step_input_syntax =
+  | SI_arg of string           (* a compound argument, passed through *)
+  | SI_step of int             (* STEP n (1-based): outputs of an
+                                  earlier step *)
+
+type step_syntax = {
+  ss_process : string;
+  ss_inputs : (string * step_input_syntax) list;
+}
+
 type statement =
   | Define_class of {
       name : string;
@@ -64,6 +74,9 @@ type statement =
       params : (string * literal) list;
       assertions : assertion_syntax list;
       mappings : (string * expr) list;
+      steps : step_syntax list;
+          (* non-empty makes the process compound; mutually exclusive
+             with params/assertions/mappings (enforced by the parser) *)
     }
   | Insert of { cls : string; values : (string * expr) list }
   | Delete of { cls : string; oid : int }
@@ -85,6 +98,8 @@ type statement =
   | Begin_experiment of string
   | Note of { experiment : string; text : string }
   | Reproduce of string
+  | Check_process of string
+  | Check_all
 
 let statement_to_string = function
   | Define_class { name; _ } -> "DEFINE CLASS " ^ name
@@ -103,11 +118,13 @@ let statement_to_string = function
   | Show_operators None -> "SHOW OPERATORS"
   | Show_operators (Some t) -> "SHOW OPERATORS FOR " ^ t
   | Show_plan cls -> "SHOW PLAN " ^ cls
-  | Show_net
-  | Show_events -> "SHOW NET"
+  | Show_net -> "SHOW NET"
+  | Show_events -> "SHOW EVENTS"
   | Verify_object oid -> Printf.sprintf "VERIFY %d" oid
   | Verify_task id -> Printf.sprintf "VERIFY TASK %d" id
   | Compare (a, b) -> Printf.sprintf "COMPARE %d %d" a b
   | Begin_experiment e -> "BEGIN EXPERIMENT " ^ e
   | Note { experiment; _ } -> "NOTE ON " ^ experiment
   | Reproduce e -> "REPRODUCE " ^ e
+  | Check_process p -> "CHECK PROCESS " ^ p
+  | Check_all -> "CHECK ALL"

@@ -46,6 +46,16 @@ type arg_syntax = {
   sa_card : (int * int option) option; (** CARD n or CARD n..m *)
 }
 
+type step_input_syntax =
+  | SI_arg of string                   (** a compound argument name *)
+  | SI_step of int                     (** STEP n (1-based): an earlier
+                                           step's output *)
+
+type step_syntax = {
+  ss_process : string;
+  ss_inputs : (string * step_input_syntax) list;
+}
+
 type statement =
   | Define_class of {
       name : string;
@@ -66,6 +76,9 @@ type statement =
       params : (string * literal) list;
       assertions : assertion_syntax list;
       mappings : (string * expr) list;
+      steps : step_syntax list;
+          (** non-empty makes the process compound; mutually exclusive
+              with params/assertions/mappings (enforced by the parser) *)
     }
   | Insert of { cls : string; values : (string * expr) list }
   | Delete of { cls : string; oid : int }
@@ -87,6 +100,8 @@ type statement =
   | Begin_experiment of string
   | Note of { experiment : string; text : string }
   | Reproduce of string
+  | Check_process of string            (** CHECK PROCESS <name> *)
+  | Check_all                          (** CHECK ALL *)
 
 val statement_to_string : statement -> string
 (** Short description for echoing, not a full pretty-printer. *)

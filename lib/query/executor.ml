@@ -297,7 +297,8 @@ let execute t stmt =
       | None -> Ok ()
     in
     Ok (Message (Printf.sprintf "concept %s defined" name))
-  | Ast.Define_process { name; output; args; params; assertions; mappings } ->
+  | Ast.Define_process { name; output; args; params; assertions; mappings; steps }
+    ->
     let spec_of (a : Ast.arg_syntax) =
       if a.Ast.sa_setof then begin
         let card_min, card_max =
@@ -309,21 +310,49 @@ let execute t stmt =
       end
       else Process.scalar_arg a.Ast.sa_name a.Ast.sa_class
     in
-    let template =
-      Template.make
-        ~assertions:(List.map assertion_to_template assertions)
-        ~mappings:
-          (List.map
-             (fun (target, e) ->
-               { Template.target; rhs = expr_to_template e })
-             mappings)
-    in
     let* proc =
-      Process.define_primitive ~name ~output_class:output
-        ~args:(List.map spec_of args)
-        ~params:
-          (List.map (fun (p, l) -> (p, Optimizer.literal_value l)) params)
-        ~template ()
+      if steps <> [] then begin
+        let step_of (s : Ast.step_syntax) =
+          { Process.step_process = s.Ast.ss_process;
+            step_inputs =
+              List.map
+                (fun (an, si) ->
+                  ( an,
+                    match si with
+                    | Ast.SI_arg a -> Process.From_arg a
+                    (* surface STEP n is 1-based; the core is 0-based *)
+                    | Ast.SI_step i -> Process.From_step (i - 1) ))
+                s.Ast.ss_inputs }
+        in
+        Process.define_compound ~name ~output_class:output
+          ~args:(List.map spec_of args)
+          ~steps:(List.map step_of steps) ()
+      end
+      else begin
+        let template =
+          Template.make
+            ~assertions:(List.map assertion_to_template assertions)
+            ~mappings:
+              (List.map
+                 (fun (target, e) ->
+                   { Template.target; rhs = expr_to_template e })
+                 mappings)
+        in
+        Process.define_primitive ~name ~output_class:output
+          ~args:(List.map spec_of args)
+          ~params:
+            (List.map (fun (p, l) -> (p, Optimizer.literal_value l)) params)
+          ~template ()
+      end
+    in
+    (* re-defining an existing name never overwrites (paper Section 3):
+       the new definition is installed as the next version *)
+    let proc =
+      match Kernel.find_process t.kernel name with
+      | Some prev ->
+        Process.with_version ~derived_from:(Process.key prev) proc
+          (prev.Process.version + 1)
+      | None -> proc
     in
     let* () = Kernel.define_process t.kernel proc in
     Ok (Message (Printf.sprintf "process %s v%d defined" name proc.Process.version))
@@ -528,6 +557,19 @@ let execute t stmt =
                    (List.map
                       (fun (id, why) -> Printf.sprintf "  #%d: %s" id why)
                       fs))))
+  | Ast.Check_process name -> (
+    match Kernel.find_process t.kernel name with
+    | None -> Error (Gaea_error.Unknown_process { name; version = None })
+    | Some p ->
+      Ok
+        (Message
+           (Gaea_analysis.Diagnostic.render
+              (Gaea_analysis.Analysis.check_process t.kernel p))))
+  | Ast.Check_all ->
+    Ok
+      (Message
+         (Gaea_analysis.Diagnostic.render
+            (Gaea_analysis.Analysis.check_kernel t.kernel)))
 
 let format_response = function
   | Message m -> m

@@ -234,6 +234,29 @@ let define_process st =
     expect st Lexer.Eq "=";
     params := (p, literal st) :: !params
   done;
+  (* compound body: STEP sub-proc (arg = <compound-arg> | STEP n, ...) *)
+  let steps = ref [] in
+  while accept_kw st "STEP" do
+    let pname = ident st in
+    expect st Lexer.Lparen "(";
+    let inputs = ref [] in
+    let binding () =
+      let an = ident st in
+      expect st Lexer.Eq "=";
+      if accept_kw st "STEP" then begin
+        let n = int_lit st in
+        if n < 1 then fail "STEP references are numbered from 1";
+        inputs := (an, SI_step n) :: !inputs
+      end
+      else inputs := (an, SI_arg (ident st)) :: !inputs
+    in
+    binding ();
+    while accept st Lexer.Comma do
+      binding ()
+    done;
+    expect st Lexer.Rparen ")";
+    steps := { ss_process = pname; ss_inputs = List.rev !inputs } :: !steps
+  done;
   let assertions = ref [] in
   while accept_kw st "ASSERT" do
     assertions := assertion st :: !assertions
@@ -245,13 +268,18 @@ let define_process st =
     mappings := (attr, expr st) :: !mappings
   done;
   expect_kw st "END";
+  if !steps <> [] && (!assertions <> [] || !mappings <> []) then
+    fail "process %s: STEP clauses cannot mix with ASSERT/MAP" name;
+  if !steps <> [] && !params <> [] then
+    fail "process %s: a compound process cannot bind parameters" name;
   Define_process
     { name;
       output;
       args = List.rev !args;
       params = List.rev !params;
       assertions = List.rev !assertions;
-      mappings = List.rev !mappings }
+      mappings = List.rev !mappings;
+      steps = List.rev !steps }
 
 let predicate st =
   let attr = ident st in
@@ -370,6 +398,12 @@ let statement st =
     let e = ident st in
     Note { experiment = e; text = string_lit st }
   | Lexer.Keyword "REPRODUCE" -> Reproduce (ident st)
+  | Lexer.Keyword "CHECK" ->
+    if accept_kw st "ALL" then Check_all
+    else begin
+      expect_kw st "PROCESS";
+      Check_process (ident st)
+    end
   | t -> fail "unexpected %s at start of statement" (Lexer.token_to_string t)
 
 let parse src =

@@ -3,6 +3,7 @@
 
 open Gaea_query
 module Kernel = Gaea_core.Kernel
+module Process = Gaea_core.Process
 module Value = Gaea_adt.Value
 module Table = Gaea_storage.Table
 
@@ -82,7 +83,8 @@ let test_parse_define_process () =
      END"
   in
   match Parser.parse_one src with
-  | Ok (Ast.Define_process { name; output; args; params; assertions; mappings }) ->
+  | Ok (Ast.Define_process { name; output; args; params; assertions; mappings; steps }) ->
+    check_int "steps" 0 (List.length steps);
     check_str "name" "p20" name;
     check_str "output" "land_cover" output;
     (match args with
@@ -321,17 +323,26 @@ let test_executor_errors () =
 
 let test_executor_versions () =
   let session = desert_session () in
-  (* redefining under the same name is rejected (never overwrite) *)
-  check_bool "same name rejected" true
-    (Result.is_error
-       (Session.run_string session
-          {|DEFINE PROCESS d250 OUTPUT desert ARGS (rain rainfall)
-            PARAM cutoff = 200.0 MAP cutoff = $cutoff
-            MAP data = img_threshold_below(rain.data, $cutoff)
-            MAP spatialextent = rain.spatialextent
-            MAP timestamp = rain.timestamp END|}));
+  (* redefining under the same name never overwrites: the new
+     definition is installed as the next version, derived_from the
+     old one *)
+  let _ =
+    ok
+      (Session.run_string session
+         {|DEFINE PROCESS d250 OUTPUT desert ARGS (rain rainfall)
+           PARAM cutoff = 200.0 MAP cutoff = $cutoff
+           MAP data = img_threshold_below(rain.data, $cutoff)
+           MAP spatialextent = rain.spatialextent
+           MAP timestamp = rain.timestamp END|})
+  in
   let out = Session.run_string_collect session "SHOW VERSIONS OF d250" in
-  check_bool "v1 listed" true (contains out "(v1)")
+  check_bool "v1 listed" true (contains out "(v1)");
+  check_bool "v2 listed" true (contains out "(v2)");
+  let k = Session.kernel session in
+  let p = Option.get (Kernel.find_process k "d250") in
+  check_int "latest is v2" 2 p.Process.version;
+  check_bool "derived_from v1" true
+    (p.Process.derived_from = Some ("d250", 1))
 
 let () =
   Alcotest.run "query"
