@@ -3,7 +3,7 @@
    The paper (VLDB 1993) contains no quantitative evaluation — its five
    figures are architectural.  This harness therefore (a) regenerates an
    executable artifact for every figure and (b) measures the mechanism
-   experiments E1–E8 defined in DESIGN.md, printing the series that
+   experiments E1–E11 defined in DESIGN.md, printing the series that
    EXPERIMENTS.md records.  One Bechamel Test.make exists per experiment
    (micro timing of its kernel operation); the macro sweeps print their
    own tables.
@@ -733,6 +733,263 @@ let e9_task_parallel () =
         e9_deterministic = deterministic }
 
 (* ------------------------------------------------------------------ *)
+(* E10: incremental refresh — invalidate k of n pipeline inputs        *)
+(* ------------------------------------------------------------------ *)
+
+type e10_data = {
+  e10_n : int;
+  e10_k : int;
+  e10_total_derived : int;
+  e10_refreshed : int;
+  e10_refresh_s : float;
+  e10_full_s : float;
+  e10_identical : bool;
+  e10_deterministic : bool;
+}
+
+let e10_result : e10_data option ref = ref None
+let e10_failed = ref false
+
+(* n independent 2-stage pipelines: src_i -> e10s1 -> mid_i -> e10s2 ->
+   out_i.  Updating one src must stale (and refresh) exactly its own
+   mid and out, never the other pipelines. *)
+let e10_kernel ~n ~npix ~seed_of () =
+  let open Template in
+  let k = Kernel.create () in
+  let base_attrs =
+    [ ("data", Vtype.Image); ("spatialextent", Vtype.Box);
+      ("timestamp", Vtype.Abstime) ]
+  in
+  ok (Kernel.define_class k (ok (Schema.define ~name:"e10src" ~attributes:base_attrs ())));
+  ok
+    (Kernel.define_class k
+       (ok (Schema.define ~name:"e10mid" ~attributes:base_attrs ~derived_by:"e10s1" ())));
+  ok
+    (Kernel.define_class k
+       (ok (Schema.define ~name:"e10out" ~attributes:base_attrs ~derived_by:"e10s2" ())));
+  let stage name src_cls out_cls factor =
+    ok
+      (Kernel.define_process k
+         (ok
+            (Process.define_primitive ~name ~output_class:out_cls
+               ~args:[ Process.scalar_arg "x" src_cls ]
+               ~template:
+                 (make ~assertions:[]
+                    ~mappings:
+                      [ { target = "data";
+                          rhs =
+                            Apply
+                              ("img_scale",
+                               [ Const (Value.float factor);
+                                 Attr_of ("x", "data") ]) };
+                        { target = "spatialextent";
+                          rhs = Attr_of ("x", "spatialextent") };
+                        { target = "timestamp"; rhs = Attr_of ("x", "timestamp") } ])
+               ())))
+  in
+  stage "e10s1" "e10src" "e10mid" 2.0;
+  stage "e10s2" "e10mid" "e10out" 3.0;
+  let srcs =
+    Array.init n (fun i ->
+        let img =
+          R.Synthetic.value_noise ~seed:(seed_of i) ~nrow:npix ~ncol:npix ()
+        in
+        ok
+          (Kernel.insert_object k ~cls:"e10src"
+             [ ("data", Value.image img);
+               ("spatialextent",
+                Value.box (Gaea_geo.Box.make ~xmin:0. ~ymin:0. ~xmax:1. ~ymax:1.));
+               ("timestamp", Value.abstime (Gaea_geo.Abstime.of_ymd 1986 1 1)) ]))
+  in
+  (k, srcs)
+
+let e10_derive_all k srcs =
+  let p1 = Option.get (Kernel.find_process k "e10s1") in
+  let p2 = Option.get (Kernel.find_process k "e10s2") in
+  Array.map
+    (fun oid ->
+      let t1 = ok (Kernel.execute_process k p1 ~inputs:[ ("x", [ oid ]) ]) in
+      let mid = List.hd t1.Task.outputs in
+      let t2 = ok (Kernel.execute_process k p2 ~inputs:[ ("x", [ mid ]) ]) in
+      (mid, List.hd t2.Task.outputs))
+    srcs
+
+let e10_out_hashes k pairs =
+  Array.to_list
+    (Array.map
+       (fun (_, out) ->
+         match Kernel.object_attr k ~cls:"e10out" out "data" with
+         | Some v -> Value.content_hash v
+         | None -> 0)
+       pairs)
+
+let e10_update_src k srcs i ~npix =
+  let img =
+    R.Synthetic.value_noise ~seed:(1000 + i) ~nrow:npix ~ncol:npix ()
+  in
+  ok (Kernel.update_object k ~cls:"e10src" srcs.(i) [ ("data", Value.image img) ])
+
+let e10_incremental_refresh () =
+  section "E10: incremental refresh — invalidate k of n pipeline inputs";
+  let n = if smoke then 4 else 8 in
+  let k_inv = 1 in
+  let npix = if smoke then 32 else 64 in
+  let total = 2 * n in
+  Printf.printf
+    "workload: %d independent 2-stage pipelines over %dx%d images (%d \
+     derived objects);\nupdate %d input(s), REFRESH ALL, and compare \
+     against a cold full re-derivation\n\n"
+    n npix npix total k_inv;
+  (* -- timing: incremental refresh vs full recompute -- *)
+  let fresh_seed i = i + 1 in
+  let k, srcs = e10_kernel ~n ~npix ~seed_of:fresh_seed () in
+  let _ = e10_derive_all k srcs in
+  for i = 0 to k_inv - 1 do
+    e10_update_src k srcs i ~npix
+  done;
+  let stale_before = List.length (Kernel.stale_objects k) in
+  let t0 = Unix.gettimeofday () in
+  let report = Kernel.refresh_stale k in
+  let dt_refresh = Unix.gettimeofday () -. t0 in
+  (* full recompute of the same post-update state, from a cold kernel *)
+  let seed_updated i = if i < k_inv then 1000 + i else fresh_seed i in
+  let k_cold, srcs_cold = e10_kernel ~n ~npix ~seed_of:seed_updated () in
+  let t0 = Unix.gettimeofday () in
+  let pairs_cold = e10_derive_all k_cold srcs_cold in
+  let dt_full = Unix.gettimeofday () -. t0 in
+  (* refreshed values must match the cold derivation bit for bit *)
+  let k2, srcs2 = e10_kernel ~n ~npix ~seed_of:fresh_seed () in
+  let pairs2 = e10_derive_all k2 srcs2 in
+  for i = 0 to k_inv - 1 do
+    e10_update_src k2 srcs2 i ~npix
+  done;
+  let _ = Kernel.refresh_stale k2 in
+  let identical = e10_out_hashes k2 pairs2 = e10_out_hashes k_cold pairs_cold in
+  (* -- determinism: events, tasks and values at pool sizes 1/2/8 -- *)
+  let saved = Pool.size () in
+  let snapshot s =
+    Pool.set_min_parallel_work (Some 0);
+    Pool.set_size s;
+    let k, srcs = e10_kernel ~n ~npix:32 ~seed_of:fresh_seed () in
+    let pairs = e10_derive_all k srcs in
+    for i = 0 to k_inv - 1 do
+      e10_update_src k srcs i ~npix:32
+    done;
+    let r = Kernel.refresh_stale k in
+    ( List.map
+        (fun (seq, ev) -> (seq, Gaea_core.Events.event_to_string ev))
+        (Kernel.event_log k),
+      List.map
+        (fun (t : Task.t) -> (t.Task.task_id, t.Task.process, t.Task.outputs))
+        (Kernel.tasks k),
+      e10_out_hashes k pairs,
+      r.Kernel.refreshed )
+  in
+  let s1 = snapshot 1 in
+  let deterministic = s1 = snapshot 2 && s1 = snapshot 8 in
+  Pool.set_min_parallel_work None;
+  Pool.set_size saved;
+  Printf.printf "stale after update: %d of %d derived object(s)\n" stale_before
+    total;
+  Printf.printf "refreshed: %d object(s) in %.2f ms (full recompute: %.2f ms)\n"
+    report.Kernel.refreshed (dt_refresh *. 1000.) (dt_full *. 1000.);
+  Printf.printf "refreshed values identical to cold re-derivation: %b\n"
+    identical;
+  Printf.printf "provenance/event order identical at pool sizes 1/2/8: %b\n"
+    deterministic;
+  if report.Kernel.refreshed >= total then begin
+    print_endline
+      "E10 FAILURE: refresh recomputed every derived object — incremental \
+       path degraded to full recompute";
+    e10_failed := true
+  end;
+  if not identical then begin
+    print_endline "E10 FAILURE: refreshed values diverge from cold derivation";
+    e10_failed := true
+  end;
+  if not deterministic then begin
+    print_endline "E10 FAILURE: refresh scheduling changed provenance order";
+    e10_failed := true
+  end;
+  e10_result :=
+    Some
+      { e10_n = n; e10_k = k_inv; e10_total_derived = total;
+        e10_refreshed = report.Kernel.refreshed; e10_refresh_s = dt_refresh;
+        e10_full_s = dt_full; e10_identical = identical;
+        e10_deterministic = deterministic }
+
+(* ------------------------------------------------------------------ *)
+(* E11: bounded result cache — budget sweep                            *)
+(* ------------------------------------------------------------------ *)
+
+type e11_row = {
+  e11_budget : int;
+  e11_entries : int;
+  e11_max_resident : int;
+  e11_admissions : int;
+  e11_evictions : int;
+  e11_within : bool;
+}
+
+let e11_rows : e11_row list ref = ref []
+
+let e11_cache_sweep () =
+  section "E11: bounded result cache — GAEA_CACHE_BYTES budget sweep";
+  let n = if smoke then 6 else 12 in
+  let npix = if smoke then 32 else 64 in
+  let budgets =
+    [ 64 * 1024; 256 * 1024; 1024 * 1024; 16 * 1024 * 1024 ]
+  in
+  Printf.printf
+    "workload: %d pipelines over %dx%d images, derived twice per budget \
+     (second pass probes retention)\n\n"
+    n npix npix;
+  Printf.printf "%-14s %9s %14s %11s %10s %7s\n" "budget (B)" "entries"
+    "max res (B)" "admissions" "evictions" "within";
+  List.iter
+    (fun budget ->
+      let k, srcs = e10_kernel ~n ~npix ~seed_of:(fun i -> i + 1) () in
+      Kernel.set_cache_budget k budget;
+      let max_resident = ref 0 in
+      let track () =
+        let st = Kernel.cache_stats k in
+        if st.Kernel.resident_bytes > !max_resident then
+          max_resident := st.Kernel.resident_bytes
+      in
+      let p1 = Option.get (Kernel.find_process k "e10s1") in
+      let p2 = Option.get (Kernel.find_process k "e10s2") in
+      for _pass = 1 to 2 do
+        Array.iter
+          (fun oid ->
+            let t1 =
+              ok (Kernel.execute_process k p1 ~inputs:[ ("x", [ oid ]) ])
+            in
+            track ();
+            let mid = List.hd t1.Task.outputs in
+            let _ =
+              ok (Kernel.execute_process k p2 ~inputs:[ ("x", [ mid ]) ])
+            in
+            track ())
+          srcs
+      done;
+      let st = Kernel.cache_stats k in
+      let within = !max_resident <= budget && st.Kernel.resident_bytes <= budget in
+      Printf.printf "%-14d %9d %14d %11d %10d %7b\n" budget st.Kernel.entries
+        !max_resident st.Kernel.admissions st.Kernel.evictions within;
+      if not within then begin
+        print_endline "E11 FAILURE: resident bytes exceeded the budget";
+        e10_failed := true
+      end;
+      e11_rows :=
+        { e11_budget = budget; e11_entries = st.Kernel.entries;
+          e11_max_resident = !max_resident;
+          e11_admissions = st.Kernel.admissions;
+          e11_evictions = st.Kernel.evictions; e11_within = within }
+        :: !e11_rows)
+    budgets;
+  e11_rows := List.rev !e11_rows
+
+(* ------------------------------------------------------------------ *)
 (* Fused-kernel parity gate                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -815,6 +1072,27 @@ let parity_gate () =
 (* BENCH_parallel.json: machine-readable E7/E8 summary for CI          *)
 (* ------------------------------------------------------------------ *)
 
+(* "model name : Intel ..." from /proc/cpuinfo, when the platform has
+   one (absent on non-Linux hosts: the field is null, not an error) *)
+let cpu_model () =
+  try
+    let ic = open_in "/proc/cpuinfo" in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec scan () =
+          let line = input_line ic in
+          if String.length line >= 10 && String.sub line 0 10 = "model name"
+          then
+            match String.index_opt line ':' with
+            | Some i ->
+              Some (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+            | None -> scan ()
+          else scan ()
+        in
+        try scan () with End_of_file -> None)
+  with Sys_error _ -> None
+
 let emit_bench_json path =
   let host_domains = Domain.recommended_domain_count () in
   (* on a single-domain host the adaptive cutoff keeps every kernel on
@@ -836,6 +1114,10 @@ let emit_bench_json path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"host_domains\": %d,\n  \"smoke\": %b,\n" host_domains smoke;
+  out "  \"ocaml_version\": %S,\n" Sys.ocaml_version;
+  (match cpu_model () with
+   | Some m -> out "  \"cpu_model\": %S,\n" m
+   | None -> out "  \"cpu_model\": null,\n");
   if single then
     out
       "  \"note\": \"host has a single hardware domain; the adaptive \
@@ -872,10 +1154,38 @@ let emit_bench_json path =
      out
        "  \"cache\": { \"cold_miss_ns\": %.0f, \"warm_hit_ns\": %.0f, \
         \"hits\": %d, \"misses\": %d, \"entries\": %d, \"invalidations\": \
-        %d }\n"
+        %d, \"admissions\": %d, \"evictions\": %d, \"resident_bytes\": %d, \
+        \"budget_bytes\": %d },\n"
        (cold *. 1e9) (warm *. 1e9) st.Kernel.hits st.Kernel.misses
-       st.Kernel.entries st.Kernel.invalidations
-   | None -> out "  \"cache\": null\n");
+       st.Kernel.entries st.Kernel.invalidations st.Kernel.admissions
+       st.Kernel.evictions st.Kernel.resident_bytes st.Kernel.budget_bytes
+   | None -> out "  \"cache\": null,\n");
+  (match !e10_result with
+   | Some r ->
+     out
+       "  \"refresh\": { \"pipelines\": %d, \"invalidated\": %d, \
+        \"total_derived\": %d, \"refreshed\": %d, \"refresh_ms\": %.3f, \
+        \"full_recompute_ms\": %.3f, \"identical_to_cold\": %b, \
+        \"deterministic\": %b },\n"
+       r.e10_n r.e10_k r.e10_total_derived r.e10_refreshed
+       (r.e10_refresh_s *. 1000.) (r.e10_full_s *. 1000.) r.e10_identical
+       r.e10_deterministic
+   | None -> out "  \"refresh\": null,\n");
+  (match !e11_rows with
+   | [] -> out "  \"cache_sweep\": null\n"
+   | rows ->
+     out "  \"cache_sweep\": [\n";
+     List.iteri
+       (fun i r ->
+         out
+           "    { \"budget_bytes\": %d, \"entries\": %d, \
+            \"max_resident_bytes\": %d, \"admissions\": %d, \"evictions\": \
+            %d, \"within_budget\": %b }%s\n"
+           r.e11_budget r.e11_entries r.e11_max_resident r.e11_admissions
+           r.e11_evictions r.e11_within
+           (if i < List.length rows - 1 then "," else ""))
+       rows;
+     out "  ]\n");
   out "}\n";
   close_out oc;
   Printf.printf "\nwrote %s\n" path
@@ -988,6 +1298,8 @@ let () =
   e7_parallel_speedup ();
   e8_cache ();
   e9_task_parallel ();
+  e10_incremental_refresh ();
+  e11_cache_sweep ();
   parity_gate ();
   run_bechamel ();
   (* smoke runs must never clobber the full-size benchmark record *)
@@ -995,4 +1307,4 @@ let () =
     (if smoke then "BENCH_parallel.smoke.json" else "BENCH_parallel.json");
   print_endline "\nall experiments completed.";
   Pool.shutdown ();
-  if !parity_failed then exit 1
+  if !parity_failed || !e10_failed then exit 1

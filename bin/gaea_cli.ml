@@ -144,6 +144,36 @@ let demo_cmd () =
           let view = Kernel.derivation_net k in
           show "derivation net (Graphviz)"
             (Dot.to_dot ~marking:(Kernel.current_marking k) view.Kernel.net);
+          (* incremental recomputation: touch a base band the land
+             cover was derived from, watch staleness propagate, then
+             refresh only the dirty subgraph *)
+          (match Kernel.task_producing k oid with
+           | Some t when Gaea_core.Task.input_oids t <> [] ->
+             let base = List.hd (Gaea_core.Task.input_oids t) in
+             (match Kernel.class_of_object k base with
+              | Some cls ->
+                (match Kernel.object_attr k ~cls base "data" with
+                 | Some v ->
+                   ignore (Kernel.update_object k ~cls base [ ("data", v) ]);
+                   show "stale after updating one base band"
+                     (String.concat ", "
+                        (List.map (Printf.sprintf "#%d")
+                           (Kernel.stale_objects k)));
+                   let r = Kernel.refresh_stale k in
+                   show "REFRESH ALL"
+                     (Printf.sprintf "refreshed %d object(s), %d left stale"
+                        r.Kernel.refreshed r.Kernel.remaining);
+                   let st = Kernel.cache_stats k in
+                   show "result cache"
+                     (Printf.sprintf
+                        "%d entries, %d/%d bytes resident, %d hits / %d \
+                         misses / %d evictions"
+                        st.Kernel.entries st.Kernel.resident_bytes
+                        st.Kernel.budget_bytes st.Kernel.hits
+                        st.Kernel.misses st.Kernel.evictions)
+                 | None -> ())
+              | None -> ())
+           | _ -> ());
           0))
 
 let lint_kernel ~json ~label k =

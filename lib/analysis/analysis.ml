@@ -40,6 +40,7 @@ let codes =
     ("GA030", Diagnostic.Warning, "task references a superseded version");
     ("GA031", Diagnostic.Warning, "live object derived by a superseded version");
     ("GA032", Diagnostic.Warning, "class DERIVED BY an unknown process");
+    ("GA033", Diagnostic.Info, "derived object stale w.r.t. its task inputs");
   ]
 
 let describe code =
@@ -725,9 +726,32 @@ let check_net k =
   in
   dead @ underivable
 
+(* GA033 shares the refresh subsystem's staleness definition verbatim:
+   whatever [Kernel.stale_objects] reports is what REFRESH would
+   recompute — the analyzer never re-derives its own notion. *)
+let check_stale k =
+  List.map
+    (fun oid ->
+      let cls = Option.value ~default:"?" (Kernel.class_of_object k oid) in
+      match Kernel.task_producing k oid with
+      | Some (t : Task.t) ->
+        kernel_diag ~code:"GA033" ~severity:Diagnostic.Info
+          ~proc:t.Task.process ~version:t.Task.process_version
+          ~element:(Printf.sprintf "object %d of class %s" oid cls)
+          (Printf.sprintf
+             "object %d is stale: inputs of task %d changed since %s v%d ran \
+              — REFRESH %s %d to recompute"
+             oid t.Task.task_id t.Task.process t.Task.process_version cls oid)
+      | None ->
+        kernel_diag ~code:"GA033" ~severity:Diagnostic.Info
+          ~element:(Printf.sprintf "object %d of class %s" oid cls)
+          (Printf.sprintf "object %d is stale w.r.t. its recorded inputs" oid))
+    (Kernel.stale_objects k)
+
 let check_kernel k =
   let per_process =
     List.concat_map (fun p -> check_process k p) (Kernel.processes k)
   in
   Diagnostic.sort
-    (per_process @ check_classes k @ check_versions k @ check_net k)
+    (per_process @ check_classes k @ check_versions k @ check_net k
+     @ check_stale k)

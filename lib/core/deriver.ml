@@ -11,11 +11,28 @@ let ( let* ) r f = Result.bind r f
 type cache_key =
   string * int * (string * Oid.t list) list * (string * int) list
 
+(* A cached result with its memory charge and replacement priority.
+   Eviction is GreedyDual-Size: priority = clock at (re)use +
+   cost / bytes, so cheap-to-recompute, bulky, long-unused entries go
+   first; the clock ratchets to each victim's priority, which ages the
+   survivors (the LRU component). *)
+type entry = {
+  e_task : Task.t;
+  e_bytes : int;
+  e_cost : float;  (* measured recompute wall-seconds *)
+  mutable e_priority : float;
+  mutable e_tick : int;  (* last-use tick, LRU tie-break *)
+}
+
 type cache_stats = {
   hits : int;
   misses : int;
   entries : int;
   invalidations : int;
+  admissions : int;
+  evictions : int;
+  resident_bytes : int;
+  budget_bytes : int;
 }
 
 type t = {
@@ -26,13 +43,64 @@ type t = {
   prov : Provenance.t;
   metrics : Metrics.t;
   bus : Events.bus;
-  result_cache : (cache_key, Task.t) Hashtbl.t;
+  result_cache : (cache_key, entry) Hashtbl.t;
   mutable invalidations : int;
+  mutable budget : int;  (* GAEA_CACHE_BYTES *)
+  mutable resident : int;  (* bytes currently charged *)
+  mutable gds_clock : float;
+  mutable tick : int;
 }
 
 (* ------------------------------------------------------------------ *)
 (* Result cache                                                        *)
 (* ------------------------------------------------------------------ *)
+
+let default_budget = 256 * 1024 * 1024
+
+let budget_from_env () =
+  match Sys.getenv_opt "GAEA_CACHE_BYTES" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n > 0 -> n
+     | _ -> default_budget)
+  | None -> default_budget
+
+(* Per-value resident size.  Raster payloads dominate and are charged
+   at their storage-type width; scalars get a small flat charge. *)
+let rec bytes_of_value v =
+  match v with
+  | Value.VImage img ->
+    Gaea_raster.Image.size img
+    * Gaea_raster.Pixel.size_bytes (Gaea_raster.Image.img_type img)
+    + 64
+  | Value.VComposite c ->
+    List.fold_left
+      (fun acc b -> acc + bytes_of_value (Value.VImage b))
+      64
+      (Gaea_raster.Composite.bands c)
+  | Value.VMatrix m ->
+    (Gaea_raster.Matrix.rows m * Gaea_raster.Matrix.cols m * 8) + 64
+  | Value.VVector a -> (Array.length a * 8) + 64
+  | Value.VString s -> String.length s + 32
+  | Value.VSet vs -> List.fold_left (fun acc v -> acc + bytes_of_value v) 16 vs
+  | _ -> 16
+
+(* What a cached task pins in memory: the stored tuples of its output
+   objects. *)
+let task_bytes t (task : Task.t) =
+  List.fold_left
+    (fun acc oid ->
+      match Obj_store.class_of t.objects oid with
+      | None -> acc
+      | Some cls ->
+        (match Obj_store.tuple t.objects ~cls oid with
+         | None -> acc
+         | Some tup ->
+           List.fold_left
+             (fun acc v -> acc + bytes_of_value v)
+             acc
+             (Gaea_storage.Tuple.values tup)))
+    0 task.Task.outputs
 
 let cache_key_of (p : Process.t) inputs : cache_key =
   ( p.Process.proc_name,
@@ -45,7 +113,15 @@ let cache_stats t =
   { hits = t.metrics.Metrics.cache_hits;
     misses = t.metrics.Metrics.cache_misses;
     entries = Hashtbl.length t.result_cache;
-    invalidations = t.invalidations }
+    invalidations = t.invalidations;
+    admissions = t.metrics.Metrics.cache_admissions;
+    evictions = t.metrics.Metrics.cache_evictions;
+    resident_bytes = t.resident;
+    budget_bytes = t.budget }
+
+let remove_entry t key (e : entry) =
+  Hashtbl.remove t.result_cache key;
+  t.resident <- t.resident - e.e_bytes
 
 let drop t ~reason n =
   if n > 0 then begin
@@ -56,16 +132,84 @@ let drop t ~reason n =
 let clear_cache t =
   let n = Hashtbl.length t.result_cache in
   Hashtbl.reset t.result_cache;
+  t.resident <- 0;
   drop t ~reason:"clear" n
 
 let invalidate_entries t ~reason pred =
   let doomed =
     Hashtbl.fold
-      (fun key task acc -> if pred key task then key :: acc else acc)
+      (fun key e acc -> if pred key e.e_task then (key, e) :: acc else acc)
       t.result_cache []
   in
-  List.iter (Hashtbl.remove t.result_cache) doomed;
+  List.iter (fun (key, e) -> remove_entry t key e) doomed;
   drop t ~reason (List.length doomed)
+
+(* Evict lowest-priority entries (LRU tick breaks ties) until [need]
+   more bytes fit under the budget. *)
+let evict_for t ~need =
+  let freed = ref 0 and count = ref 0 in
+  while t.resident + need > t.budget && Hashtbl.length t.result_cache > 0 do
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, best)
+            when best.e_priority < e.e_priority
+                 || (best.e_priority = e.e_priority && best.e_tick <= e.e_tick)
+            -> acc
+          | _ -> Some (k, e))
+        t.result_cache None
+    in
+    match victim with
+    | None -> ()
+    | Some (k, e) ->
+      remove_entry t k e;
+      t.gds_clock <- Float.max t.gds_clock e.e_priority;
+      freed := !freed + e.e_bytes;
+      incr count
+  done;
+  if !count > 0 then
+    Events.emit t.bus
+      (Events.Cache_evicted { entries = !count; bytes = !freed; reason = "budget" })
+
+let next_tick t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+(* Admission: charge the task's output bytes, evicting to fit.  An
+   entry bigger than the whole budget is never admitted. *)
+let admit t (p : Process.t) ~inputs ~cost task =
+  let key = cache_key_of p inputs in
+  (match Hashtbl.find_opt t.result_cache key with
+   | Some old -> remove_entry t key old
+   | None -> ());
+  let bytes = task_bytes t task in
+  if bytes <= t.budget then begin
+    evict_for t ~need:bytes;
+    let e =
+      { e_task = task; e_bytes = bytes; e_cost = cost;
+        e_priority = t.gds_clock +. (cost /. float_of_int (max 1 bytes));
+        e_tick = next_tick t }
+    in
+    Hashtbl.replace t.result_cache key e;
+    t.resident <- t.resident + bytes;
+    Events.emit t.bus
+      (Events.Cache_admitted
+         { process = p.Process.proc_name; version = p.Process.version; bytes })
+  end
+
+let cache_budget t = t.budget
+
+let set_cache_budget t n =
+  t.budget <- max 0 n;
+  evict_for t ~need:0
+
+let restore_cache_stats t ~hits ~misses ~invalidations ~admissions ~evictions =
+  t.metrics.Metrics.cache_hits <- hits;
+  t.metrics.Metrics.cache_misses <- misses;
+  t.metrics.Metrics.cache_admissions <- admissions;
+  t.metrics.Metrics.cache_evictions <- evictions;
+  t.invalidations <- invalidations
 
 (* Names whose (latest) definitions reach [name] through compound
    steps: editing a sub-process stales every cached compound above it. *)
@@ -109,12 +253,15 @@ let invalidate_class t cls =
 let create ~registry ~catalog ~objects ~procs ~prov ~metrics ~bus =
   let t =
     { registry; catalog; objects; procs; prov; metrics; bus;
-      result_cache = Hashtbl.create 64; invalidations = 0 }
+      result_cache = Hashtbl.create 64; invalidations = 0;
+      budget = budget_from_env (); resident = 0; gds_clock = 0.0; tick = 0 }
   in
-  (* staleness is event-driven: deletions, re-versions and class
-     mutations arrive on the bus rather than as hand-threaded calls *)
+  (* staleness is event-driven: deletions, updates, re-versions and
+     class mutations arrive on the bus rather than as hand-threaded
+     calls *)
   Events.subscribe bus ~name:"result-cache" (function
     | Events.Object_deleted { oid; _ } -> invalidate_oid t oid
+    | Events.Object_updated { oid; _ } -> invalidate_oid t oid
     | Events.Process_versioned { name; _ } -> invalidate_process t name
     | Events.Class_mutated cls -> invalidate_class t cls
     | _ -> ());
@@ -378,23 +525,31 @@ let outputs_live t (task : Task.t) =
   && List.for_all (fun oid -> Obj_store.mem t.objects oid) task.Task.outputs
 
 (* Authoritative cache probe around a process execution: emits
-   Cache_hit / Cache_miss, drops stale entries, stores fresh results. *)
+   Cache_hit / Cache_miss, drops stale entries, admits fresh results
+   charged with their measured recompute cost. *)
 let with_cache t (p : Process.t) ~inputs run =
   let key = cache_key_of p inputs in
   match Hashtbl.find_opt t.result_cache key with
-  | Some task when outputs_live t task ->
+  | Some e when outputs_live t e.e_task ->
+    (* a hit re-seeds the GDS priority from the aged clock *)
+    e.e_priority <-
+      t.gds_clock +. (e.e_cost /. float_of_int (max 1 e.e_bytes));
+    e.e_tick <- next_tick t;
     Events.emit t.bus
       (Events.Cache_hit
          { process = p.Process.proc_name; version = p.Process.version });
-    Ok task
+    Ok e.e_task
   | stale ->
-    if stale <> None then Hashtbl.remove t.result_cache key;
+    (match stale with
+     | Some e -> remove_entry t key e
+     | None -> ());
     Events.emit t.bus
       (Events.Cache_miss
          { process = p.Process.proc_name; version = p.Process.version });
+    let t0 = Unix.gettimeofday () in
     let result = run () in
     (match result with
-     | Ok task -> Hashtbl.replace t.result_cache key task
+     | Ok task -> admit t p ~inputs ~cost:(Unix.gettimeofday () -. t0) task
      | Error _ -> ());
     result
 
@@ -501,7 +656,7 @@ and execute_compound t (p : Process.t) ~inputs steps =
                      Hashtbl.find_opt t.result_cache
                        (cache_key_of sub sub_inputs)
                    with
-                   | Some task when outputs_live t task -> acc
+                   | Some e when outputs_live t e.e_task -> acc
                    | _ -> (j, sub, sub_inputs) :: acc))
         in
         go (j + 1) acc
@@ -520,6 +675,11 @@ and execute_compound t (p : Process.t) ~inputs steps =
     then begin
       match candidates frontier with
       | [] | [ _ ] -> () (* a single ready step gains nothing from a lane *)
+      | cs when List.length cs < Gaea_par.Pool.size () ->
+        (* a frontier narrower than the lane count leaves lanes idle
+           while still paying dispatch/join overhead — the E9 2-lane
+           regression; let the caller run the steps in order instead *)
+        ()
       | cs ->
         let thunks =
           Array.of_list

@@ -42,13 +42,28 @@ val execute_process :
 val recompute_task :
   t -> Task.t -> ((string * Gaea_adt.Value.t) list, Gaea_error.t) result
 
-(** {2 Result cache} *)
+val count_pixels : Gaea_adt.Value.t -> int
+(** Pixels carried by a raster value (0 for scalars) — the
+    [pixels_processed] unit of account. *)
+
+(** {2 Result cache}
+
+    The cache is memory-bounded: every entry is charged the byte size
+    of its output tuples (raster payloads at storage-type width), and
+    total residency is kept under a budget ([GAEA_CACHE_BYTES],
+    default 256 MiB) by GreedyDual-Size eviction — priority is
+    clock-at-use + recompute-cost / bytes, so cheap-to-recompute bulky
+    entries go first and recently used ones survive (LRU tie-break). *)
 
 type cache_stats = {
   hits : int;
   misses : int;
   entries : int;  (** live memoized results *)
-  invalidations : int;  (** entries dropped *)
+  invalidations : int;  (** entries dropped by staleness *)
+  admissions : int;  (** results stored under the budget *)
+  evictions : int;  (** entries displaced to stay under budget *)
+  resident_bytes : int;  (** bytes currently charged *)
+  budget_bytes : int;  (** the active byte budget *)
 }
 
 val cache_stats : t -> cache_stats
@@ -56,3 +71,24 @@ val clear_cache : t -> unit
 val invalidate_process : t -> string -> unit
 (** Drop memoized results of the named process and of every compound
     that transitively expands to it. *)
+
+val cache_budget : t -> int
+
+val set_cache_budget : t -> int -> unit
+(** Override the budget (e.g. for sweeps); shrinking evicts
+    immediately. *)
+
+val admit :
+  t -> Process.t -> inputs:(string * Oid.t list) list -> cost:float
+  -> Task.t -> unit
+(** Store a freshly produced result, charging its bytes and evicting
+    to fit; [cost] seeds the eviction priority.  Emits
+    [Cache_admitted] (and [Cache_evicted] for any displaced entries).
+    Used by the refresh scheduler, which recomputes outside
+    the hit/miss probe. *)
+
+val restore_cache_stats :
+  t -> hits:int -> misses:int -> invalidations:int -> admissions:int
+  -> evictions:int -> unit
+(** Persist support: reinstate the counter values of a saved kernel
+    (entries themselves are not persisted). *)

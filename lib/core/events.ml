@@ -3,12 +3,16 @@ type event =
   | Class_mutated of string
   | Object_inserted of { cls : string; oid : int }
   | Object_deleted of { cls : string; oid : int }
+  | Object_updated of { cls : string; oid : int }
+  | Object_refreshed of { cls : string; oid : int; task_id : int }
   | Process_defined of { name : string; version : int }
   | Process_versioned of { name : string; version : int }
   | Task_recorded of { task_id : int; process : string; version : int }
   | Cache_hit of { process : string; version : int }
   | Cache_miss of { process : string; version : int }
   | Cache_invalidated of { entries : int; reason : string }
+  | Cache_admitted of { process : string; version : int; bytes : int }
+  | Cache_evicted of { entries : int; bytes : int; reason : string }
 
 let event_to_string = function
   | Class_defined c -> Printf.sprintf "class_defined %s" c
@@ -16,6 +20,9 @@ let event_to_string = function
   | Object_inserted { cls; oid } ->
     Printf.sprintf "object_inserted %s #%d" cls oid
   | Object_deleted { cls; oid } -> Printf.sprintf "object_deleted %s #%d" cls oid
+  | Object_updated { cls; oid } -> Printf.sprintf "object_updated %s #%d" cls oid
+  | Object_refreshed { cls; oid; task_id } ->
+    Printf.sprintf "object_refreshed %s #%d task #%d" cls oid task_id
   | Process_defined { name; version } ->
     Printf.sprintf "process_defined %s v%d" name version
   | Process_versioned { name; version } ->
@@ -28,6 +35,10 @@ let event_to_string = function
     Printf.sprintf "cache_miss %s v%d" process version
   | Cache_invalidated { entries; reason } ->
     Printf.sprintf "cache_invalidated %d entries (%s)" entries reason
+  | Cache_admitted { process; version; bytes } ->
+    Printf.sprintf "cache_admitted %s v%d (%d bytes)" process version bytes
+  | Cache_evicted { entries; bytes; reason } ->
+    Printf.sprintf "cache_evicted %d entries (%d bytes, %s)" entries bytes reason
 
 type bus = {
   mutable subs : (string * (event -> unit)) list; (* registration order *)

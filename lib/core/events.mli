@@ -19,6 +19,12 @@ type event =
           [Kernel.invalidate_cache_class]. *)
   | Object_inserted of { cls : string; oid : int }
   | Object_deleted of { cls : string; oid : int }
+  | Object_updated of { cls : string; oid : int }
+      (** An existing object's attribute values were replaced in place
+          ([Kernel.update_object]) — staling trigger for its consumers. *)
+  | Object_refreshed of { cls : string; oid : int; task_id : int }
+      (** The refresh scheduler recomputed a stale derived object;
+          [task_id] is the new provenance task that produced it. *)
   | Process_defined of { name : string; version : int }
       (** First version of a new process name. *)
   | Process_versioned of { name : string; version : int }
@@ -27,6 +33,10 @@ type event =
   | Cache_hit of { process : string; version : int }
   | Cache_miss of { process : string; version : int }
   | Cache_invalidated of { entries : int; reason : string }
+  | Cache_admitted of { process : string; version : int; bytes : int }
+      (** A result entered the bounded result cache, charged [bytes]. *)
+  | Cache_evicted of { entries : int; bytes : int; reason : string }
+      (** Entries left the cache to make room under [GAEA_CACHE_BYTES]. *)
 
 val event_to_string : event -> string
 

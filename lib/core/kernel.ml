@@ -14,6 +14,9 @@ type counters = Metrics.t = {
   mutable pixels_processed : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable cache_admissions : int;
+  mutable cache_evictions : int;
+  mutable refreshes : int;
 }
 
 type cache_stats = Deriver.cache_stats = {
@@ -21,6 +24,18 @@ type cache_stats = Deriver.cache_stats = {
   misses : int;
   entries : int;
   invalidations : int;
+  admissions : int;
+  evictions : int;
+  resident_bytes : int;
+  budget_bytes : int;
+}
+
+type refresh_report = Refresh.report = {
+  refreshed : int;
+  skipped : int;
+  remaining : int;
+  tasks : Task.t list;
+  skip_reasons : (Gaea_storage.Oid.t * string) list;
 }
 
 type net_view = Provenance.net_view = {
@@ -41,6 +56,7 @@ type t = {
   concepts : Concept.t;
   prov : Provenance.t;
   deriver : Deriver.t;
+  refresh : Refresh.t;
 }
 
 let create () =
@@ -49,7 +65,8 @@ let create () =
   let bus = Events.create () in
   (* subscription order fixes notification order: metrics first, then
      the net cache (inside Provenance.create), then the result cache
-     (inside Deriver.create) *)
+     (inside Deriver.create), then the staleness tracker (inside
+     Refresh.create) *)
   let metrics = Metrics.create () in
   Metrics.attach bus metrics;
   let catalog = Catalog.create ~store ~bus in
@@ -59,8 +76,11 @@ let create () =
   let deriver =
     Deriver.create ~registry ~catalog ~objects ~procs ~prov ~metrics ~bus
   in
+  let refresh =
+    Refresh.create ~objects ~procs ~prov ~deriver ~metrics ~bus
+  in
   { registry; store; bus; metrics; catalog; objects; procs;
-    concepts = Concept.create (); prov; deriver }
+    concepts = Concept.create (); prov; deriver; refresh }
 
 (* system level *)
 let registry t = t.registry
@@ -94,6 +114,7 @@ let objects_of_class t cls = Obj_store.oids_of_class t.objects cls
 let class_of_object t oid = Obj_store.class_of t.objects oid
 let count_objects t cls = Obj_store.count t.objects cls
 let delete_object t ~cls oid = Obj_store.delete t.objects ~cls oid
+let update_object t ~cls oid pairs = Obj_store.update t.objects ~cls oid pairs
 
 (* processes *)
 let define_process t p = Proc_registry.define t.procs p
@@ -125,7 +146,19 @@ let tasks_using t oid = Provenance.tasks_using t.prov oid
 (* result cache *)
 let cache_stats t = Deriver.cache_stats t.deriver
 let clear_cache t = Deriver.clear_cache t.deriver
+let cache_budget t = Deriver.cache_budget t.deriver
+let set_cache_budget t n = Deriver.set_cache_budget t.deriver n
+
+let restore_cache_stats t ~hits ~misses ~invalidations ~admissions ~evictions =
+  Deriver.restore_cache_stats t.deriver ~hits ~misses ~invalidations
+    ~admissions ~evictions
+
 let invalidate_cache_process t name = Deriver.invalidate_process t.deriver name
+
+(* staleness / refresh *)
+let stale_objects t = Refresh.stale t.refresh
+let object_stale t oid = Refresh.is_stale t.refresh oid
+let refresh_stale ?only t = Refresh.refresh ?only t.refresh
 
 let invalidate_cache_class t cls =
   (* announced as a mutation; the deriver's subscriber does the work *)

@@ -67,6 +67,14 @@ val delete_object :
     named.  Deletion invalidates dependent cache entries (via the
     [Object_deleted] event). *)
 
+val update_object :
+  t -> cls:string -> Gaea_storage.Oid.t -> (string * Gaea_adt.Value.t) list
+  -> (unit, Gaea_error.t) result
+(** Replace the named attributes in place (same OID; unnamed
+    attributes keep their values).  Emits [Object_updated], which
+    invalidates dependent cache entries and marks every transitive
+    consumer stale (see {!stale_objects} / {!refresh_stale}). *)
+
 (** {2 Concepts (high level)} *)
 
 val concepts : t -> Concept.t
@@ -185,6 +193,9 @@ type counters = Metrics.t = {
   mutable pixels_processed : int; (** image pixels written by mappings *)
   mutable cache_hits : int;     (** {!execute_process} calls served from cache *)
   mutable cache_misses : int;   (** calls that actually executed *)
+  mutable cache_admissions : int; (** results stored in the bounded cache *)
+  mutable cache_evictions : int;  (** entries displaced to stay under budget *)
+  mutable refreshes : int;        (** stale objects recomputed in place *)
 }
 
 val counters : t -> counters
@@ -199,12 +210,28 @@ type cache_stats = Deriver.cache_stats = {
   misses : int;
   entries : int;          (** live memoized results *)
   invalidations : int;    (** entries dropped by the hooks below *)
+  admissions : int;       (** results stored under the byte budget *)
+  evictions : int;        (** entries displaced to stay under budget *)
+  resident_bytes : int;   (** bytes currently charged to the cache *)
+  budget_bytes : int;     (** active budget ([GAEA_CACHE_BYTES]) *)
 }
 
 val cache_stats : t -> cache_stats
 
 val clear_cache : t -> unit
 (** Drop every memoized result (counts them as invalidations). *)
+
+val cache_budget : t -> int
+
+val set_cache_budget : t -> int -> unit
+(** Override the byte budget ([GAEA_CACHE_BYTES] gives the initial
+    value); shrinking evicts immediately. *)
+
+val restore_cache_stats :
+  t -> hits:int -> misses:int -> invalidations:int -> admissions:int
+  -> evictions:int -> unit
+(** Persist support: reinstate saved counter values (cache entries
+    themselves are not persisted). *)
 
 val invalidate_cache_process : t -> string -> unit
 (** Drop memoized results of the named process and of every compound
@@ -217,3 +244,28 @@ val invalidate_cache_class : t -> string -> unit
     wrote to the named class — the hook for callers that mutate a
     class's objects behind the kernel's back (bulk loads, external
     edits).  {!delete_object} already invalidates per-object. *)
+
+(** {2 Staleness and incremental refresh} *)
+
+type refresh_report = Refresh.report = {
+  refreshed : int;  (** objects recomputed in place *)
+  skipped : int;  (** stale objects left stale *)
+  remaining : int;  (** dirty-set size after the run *)
+  tasks : Task.t list;  (** new provenance tasks, in commit order *)
+  skip_reasons : (Gaea_storage.Oid.t * string) list;
+}
+
+val stale_objects : t -> Gaea_storage.Oid.t list
+(** Derived objects whose transitive inputs changed (update, delete,
+    process re-version, class mutation) since their task ran.
+    Ascending OID order.  The same definition backs [gaea lint]'s
+    GA033. *)
+
+val object_stale : t -> Gaea_storage.Oid.t -> bool
+
+val refresh_stale : ?only:Gaea_storage.Oid.t list -> t -> refresh_report
+(** Recompute stale objects in place, dirty subgraph only, in
+    topological waves (independent frontier nodes evaluate on the
+    domain pool); results, provenance and event order match a full
+    re-derivation at any pool size.  [only] restricts the run to the
+    given objects plus their stale upstream closure. *)

@@ -5,11 +5,15 @@ type t = {
   mutable pixels_processed : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable cache_admissions : int;
+  mutable cache_evictions : int;
+  mutable refreshes : int;
 }
 
 let create () =
   { executions = 0; retrievals = 0; interpolations = 0; pixels_processed = 0;
-    cache_hits = 0; cache_misses = 0 }
+    cache_hits = 0; cache_misses = 0; cache_admissions = 0; cache_evictions = 0;
+    refreshes = 0 }
 
 let reset t =
   t.executions <- 0;
@@ -17,11 +21,18 @@ let reset t =
   t.interpolations <- 0;
   t.pixels_processed <- 0;
   t.cache_hits <- 0;
-  t.cache_misses <- 0
+  t.cache_misses <- 0;
+  t.cache_admissions <- 0;
+  t.cache_evictions <- 0;
+  t.refreshes <- 0
 
 let attach bus t =
   Events.subscribe bus ~name:"metrics" (function
     | Events.Task_recorded _ -> t.executions <- t.executions + 1
     | Events.Cache_hit _ -> t.cache_hits <- t.cache_hits + 1
     | Events.Cache_miss _ -> t.cache_misses <- t.cache_misses + 1
+    | Events.Cache_admitted _ -> t.cache_admissions <- t.cache_admissions + 1
+    | Events.Cache_evicted { entries; _ } ->
+      t.cache_evictions <- t.cache_evictions + entries
+    | Events.Object_refreshed _ -> t.refreshes <- t.refreshes + 1
     | _ -> ())

@@ -13,6 +13,9 @@ type t = {
   mutable pixels_processed : int;  (** image pixels written by mappings *)
   mutable cache_hits : int;  (** executions served from the result cache *)
   mutable cache_misses : int;  (** executions that actually ran *)
+  mutable cache_admissions : int;  (** results admitted to the bounded cache *)
+  mutable cache_evictions : int;  (** entries evicted to stay under budget *)
+  mutable refreshes : int;  (** stale objects recomputed in place *)
 }
 
 val create : unit -> t
@@ -20,4 +23,6 @@ val reset : t -> unit
 
 val attach : Events.bus -> t -> unit
 (** Subscribe (as ["metrics"]) to [Task_recorded] → [executions],
-    [Cache_hit] → [cache_hits], [Cache_miss] → [cache_misses]. *)
+    [Cache_hit] → [cache_hits], [Cache_miss] → [cache_misses],
+    [Cache_admitted] → [cache_admissions], [Cache_evicted] →
+    [cache_evictions], [Object_refreshed] → [refreshes]. *)

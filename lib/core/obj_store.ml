@@ -1,5 +1,6 @@
 module Store = Gaea_storage.Store
 module Table = Gaea_storage.Table
+module Tuple = Gaea_storage.Tuple
 module Oid = Gaea_storage.Oid
 
 type t = {
@@ -55,6 +56,43 @@ let insert_with_oid t ~cls oid pairs =
         Hashtbl.replace t.oid_class oid cls;
         Ok ()
     end
+
+let update t ~cls oid pairs =
+  match Hashtbl.find_opt t.oid_class oid with
+  | None -> Error (Gaea_error.Unknown_object oid)
+  | Some actual when actual <> cls -> Error (Gaea_error.Wrong_class { oid; cls })
+  | Some _ ->
+    (match Catalog.find t.catalog cls, Catalog.table t.catalog cls with
+     | Some def, Some tab ->
+       let attrs = Schema.attr_names def in
+       let extra = List.filter (fun (a, _) -> not (List.mem a attrs)) pairs in
+       if extra <> [] then
+         Gaea_error.err
+           (Printf.sprintf "%s: unknown attribute(s) %s" cls
+              (String.concat ", " (List.map fst extra)))
+       else begin
+         match Table.get tab oid with
+         | None ->
+           Error
+             (Gaea_error.Storage_error
+                (Printf.sprintf "update of %s #%d: tuple missing" cls oid))
+         | Some old ->
+           let current = List.combine attrs (Tuple.values old) in
+           let values =
+             List.map
+               (fun a ->
+                 match List.assoc_opt a pairs with
+                 | Some v -> v
+                 | None -> List.assoc a current)
+               attrs
+           in
+           (match Table.replace tab oid values with
+            | Error e -> Error (Gaea_error.Storage_error e)
+            | Ok () ->
+              Events.emit t.bus (Events.Object_updated { cls; oid });
+              Ok ())
+       end
+     | _ -> Error (Gaea_error.Unknown_class cls))
 
 let delete t ~cls oid =
   match Hashtbl.find_opt t.oid_class oid with

@@ -23,6 +23,13 @@ val insert_with_oid :
     store's allocator past it.  Event-silent: restores must not look
     like fresh mutations to subscribers. *)
 
+val update :
+  t -> cls:string -> Oid.t -> (string * Gaea_adt.Value.t) list
+  -> (unit, Gaea_error.t) result
+(** Replace the named attributes in place, keeping the OID and any
+    unnamed attributes.  Emits [Object_updated] on success — the
+    staling trigger the refresh subsystem listens for. *)
+
 val delete : t -> cls:string -> Oid.t -> (unit, Gaea_error.t) result
 (** [Error (Unknown_object oid)] when no class owns the oid,
     [Error (Wrong_class _)] when it exists under a different class.

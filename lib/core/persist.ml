@@ -363,6 +363,30 @@ let restore_objects kernel = function
          (Ok ()) rows)
   | _ -> Gaea_error.err "malformed objects section"
 
+(* --- cache statistics ------------------------------------------------ *)
+
+let cache_stats_to_sexp kernel =
+  let st = Kernel.cache_stats kernel in
+  Sexp.list
+    [ Sexp.atom "cache-stats";
+      iatom st.Kernel.hits;
+      iatom st.Kernel.misses;
+      iatom st.Kernel.invalidations;
+      iatom st.Kernel.admissions;
+      iatom st.Kernel.evictions ]
+
+let restore_cache_stats kernel = function
+  | Sexp.List [ Sexp.Atom "cache-stats"; h; m; i; a; e ] ->
+    let* hits = parse_int h in
+    let* misses = parse_int m in
+    let* invalidations = parse_int i in
+    let* admissions = parse_int a in
+    let* evictions = parse_int e in
+    Kernel.restore_cache_stats kernel ~hits ~misses ~invalidations ~admissions
+      ~evictions;
+    Ok ()
+  | _ -> Gaea_error.err "malformed cache-stats section"
+
 (* --- whole kernel ---------------------------------------------------- *)
 
 let save kernel =
@@ -380,6 +404,7 @@ let save kernel =
   List.iter
     (fun task -> emit (Task.to_sexp task))
     (Kernel.tasks kernel);
+  emit (cache_stats_to_sexp kernel);
   Buffer.contents buf
 
 let load text =
@@ -428,6 +453,10 @@ let load text =
         | Sexp.List (Sexp.Atom "task" :: _) ->
           let* task = Task.of_sexp sexp in
           Kernel.restore_task kernel task
+        | Sexp.List (Sexp.Atom "cache-stats" :: _) ->
+          (* counters survive the round trip; saves predating the
+             section simply restore to zero *)
+          restore_cache_stats kernel sexp
         | Sexp.List (Sexp.Atom ("class" | "concepts" | "process") :: _) -> Ok ()
         | _ -> Gaea_error.err "unknown section")
       (Ok ()) sexps

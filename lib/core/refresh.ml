@@ -1,0 +1,289 @@
+(* The refresh subsystem: incremental recomputation of stale derived
+   objects.
+
+   Staleness is event-driven, like the result cache: the subscriber
+   turns update/delete/re-version/class-mutation events into a
+   per-object dirty set, propagated forward through the provenance
+   graph ([Provenance.tasks_using]).  [refresh] then recomputes only
+   the dirty subgraph, wave by wave in topological order: within a
+   wave the pure evaluation half runs on the domain pool, while
+   commits — in-place object updates, provenance, cache admission,
+   events — run strictly in producing-task order on the calling
+   domain, so values, task ids and the event log are identical to a
+   full re-derivation at any pool size. *)
+
+module Oid = Gaea_storage.Oid
+
+type t = {
+  objects : Obj_store.t;
+  procs : Proc_registry.t;
+  prov : Provenance.t;
+  deriver : Deriver.t;
+  metrics : Metrics.t;
+  bus : Events.bus;
+  dirty : (Oid.t, unit) Hashtbl.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Staleness marking (the single definition GA033 shares)              *)
+(* ------------------------------------------------------------------ *)
+
+(* An object is stale iff it is live, was produced by a recorded task,
+   and sits in the dirty set — i.e. some transitive input was updated
+   or deleted, or its process was superseded, since its task ran. *)
+let rec mark t oid =
+  if
+    Obj_store.mem t.objects oid
+    && (not (Hashtbl.mem t.dirty oid))
+    && Provenance.task_producing t.prov oid <> None
+  then begin
+    Hashtbl.replace t.dirty oid ();
+    mark_consumers t oid
+  end
+
+and mark_consumers t oid =
+  List.iter
+    (fun (task : Task.t) -> List.iter (mark t) task.Task.outputs)
+    (Provenance.tasks_using t.prov oid)
+
+let mark_process t name version =
+  List.iter
+    (fun (task : Task.t) ->
+      if task.Task.process = name && task.Task.process_version < version then
+        List.iter (mark t) task.Task.outputs)
+    (Provenance.tasks t.prov)
+
+let mark_class t cls =
+  List.iter
+    (fun (task : Task.t) ->
+      if
+        List.exists
+          (fun oid -> Obj_store.class_of t.objects oid = Some cls)
+          (Task.input_oids task)
+      then List.iter (mark t) task.Task.outputs)
+    (Provenance.tasks t.prov)
+
+let create ~objects ~procs ~prov ~deriver ~metrics ~bus =
+  let t =
+    { objects; procs; prov; deriver; metrics; bus; dirty = Hashtbl.create 64 }
+  in
+  Events.subscribe bus ~name:"refresh" (function
+    | Events.Object_updated { oid; _ } -> mark_consumers t oid
+    | Events.Object_deleted { oid; _ } ->
+      (* the object itself is gone, not stale; its consumers are *)
+      Hashtbl.remove t.dirty oid;
+      mark_consumers t oid
+    | Events.Process_versioned { name; version } -> mark_process t name version
+    | Events.Class_mutated cls -> mark_class t cls
+    | _ -> ());
+  t
+
+let is_stale t oid = Hashtbl.mem t.dirty oid && Obj_store.mem t.objects oid
+
+let stale t =
+  Hashtbl.fold
+    (fun oid () acc -> if Obj_store.mem t.objects oid then oid :: acc else acc)
+    t.dirty []
+  |> List.sort Int.compare
+
+(* ------------------------------------------------------------------ *)
+(* The refresh scheduler                                               *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  refreshed : int;  (** objects recomputed in place *)
+  skipped : int;  (** stale objects left stale (see [skip_reasons]) *)
+  remaining : int;  (** dirty-set size after the run *)
+  tasks : Task.t list;  (** new provenance tasks, in commit order *)
+  skip_reasons : (Oid.t * string) list;
+}
+
+(* one schedulable unit: a producing task whose outputs are stale *)
+type node = {
+  n_task : Task.t;
+  n_proc : Process.t option;  (* latest version; None → unrefreshable *)
+  mutable n_deps : int list;  (* producing task ids of stale inputs *)
+}
+
+let refresh ?only t =
+  (* -- the work set: stale oids, optionally a target slice plus its
+     stale upstream closure (refreshing a target under stale ancestors
+     would bake stale values into a "fresh" result) -- *)
+  let all_stale = stale t in
+  let work = Hashtbl.create 32 in
+  (match only with
+   | None -> List.iter (fun oid -> Hashtbl.replace work oid ()) all_stale
+   | Some targets ->
+     let rec add oid =
+       if is_stale t oid && not (Hashtbl.mem work oid) then begin
+         Hashtbl.replace work oid ();
+         match Provenance.task_producing t.prov oid with
+         | None -> ()
+         | Some task -> List.iter add (Task.input_oids task)
+       end
+     in
+     List.iter add targets);
+  (* -- nodes: one per producing task -- *)
+  let nodes : (int, node) Hashtbl.t = Hashtbl.create 32 in
+  let owner : (Oid.t, int) Hashtbl.t = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun oid () ->
+      match Provenance.task_producing t.prov oid with
+      | None -> ()
+      | Some task ->
+        Hashtbl.replace owner oid task.Task.task_id;
+        if not (Hashtbl.mem nodes task.Task.task_id) then
+          Hashtbl.replace nodes task.Task.task_id
+            { n_task = task;
+              n_proc = Proc_registry.find t.procs task.Task.process;
+              n_deps = [] })
+    work;
+  Hashtbl.iter
+    (fun _ node ->
+      node.n_deps <-
+        List.sort_uniq Int.compare
+          (List.filter_map
+             (fun oid -> Hashtbl.find_opt owner oid)
+             (Task.input_oids node.n_task)))
+    nodes;
+  (* -- wave-by-wave topological execution -- *)
+  let committed : (int, unit) Hashtbl.t = Hashtbl.create 32 in
+  let failed : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let refreshed = ref 0 in
+  let new_tasks = ref [] in
+  let skip_reasons = ref [] in
+  let fail_node id node reason =
+    Hashtbl.replace failed id reason;
+    List.iter
+      (fun oid ->
+        if Hashtbl.mem work oid then
+          skip_reasons := (oid, reason) :: !skip_reasons)
+      node.n_task.Task.outputs
+  in
+  let pending () =
+    Hashtbl.fold
+      (fun id node acc ->
+        if Hashtbl.mem committed id || Hashtbl.mem failed id then acc
+        else (id, node) :: acc)
+      nodes []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    let rest = pending () in
+    (* nodes whose stale deps all committed; a failed dep poisons the
+       node (refreshing from a stale input would diverge from a full
+       re-derivation) *)
+    let ready, blocked =
+      List.partition
+        (fun (_, node) ->
+          List.for_all (fun d -> Hashtbl.mem committed d) node.n_deps
+          && not (List.exists (fun d -> Hashtbl.mem failed d) node.n_deps))
+        rest
+    in
+    let poisoned =
+      List.filter
+        (fun (_, node) -> List.exists (fun d -> Hashtbl.mem failed d) node.n_deps)
+        blocked
+    in
+    List.iter (fun (id, node) -> fail_node id node "stale input not refreshable")
+      poisoned;
+    match ready with
+    | [] -> if poisoned = [] then continue_ := false
+    | _ ->
+      (* evaluation half: pure, poolable.  Same dispatch rule as the
+         compound scheduler — lanes only pay off when the frontier can
+         fill them. *)
+      let evals : (int, (((string * Gaea_adt.Value.t) list, Gaea_error.t) result * float)) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let evaluable =
+        List.filter_map
+          (fun (id, node) ->
+            match node.n_proc with
+            | Some p -> Some (id, node, p)
+            | None -> None)
+          ready
+      in
+      let eval_one (id, node, p) =
+        let t0 = Unix.gettimeofday () in
+        let r = Deriver.eval_primitive t.deriver p node.n_task.Task.inputs in
+        (id, (r, Unix.gettimeofday () -. t0))
+      in
+      let n_ready = List.length evaluable in
+      if
+        Gaea_par.Pool.size () > 1
+        && Gaea_par.Pool.min_parallel_work () < max_int
+        && n_ready >= 2
+        && n_ready >= Gaea_par.Pool.size ()
+      then
+        Array.iter
+          (fun (id, outcome) -> Hashtbl.replace evals id outcome)
+          (Gaea_par.Pool.parallel_batch
+             (Array.of_list
+                (List.map (fun unit_ () -> eval_one unit_) evaluable)))
+      else
+        List.iter
+          (fun unit_ ->
+            let id, outcome = eval_one unit_ in
+            Hashtbl.replace evals id outcome)
+          evaluable;
+      (* commit half: strictly in producing-task order *)
+      List.iter
+        (fun (id, node) ->
+          match node.n_proc with
+          | None ->
+            fail_node id node
+              (Printf.sprintf "process %s not in registry"
+                 node.n_task.Task.process)
+          | Some p ->
+            (match Hashtbl.find_opt evals id with
+             | None -> fail_node id node "not evaluated"
+             | Some (Error e, _) -> fail_node id node (Gaea_error.to_string e)
+             | Some (Ok pairs, cost) ->
+               let task = node.n_task in
+               let commit_result =
+                 List.fold_left
+                   (fun acc oid ->
+                     match acc with
+                     | Error _ -> acc
+                     | Ok () ->
+                       Obj_store.update t.objects ~cls:p.Process.output_class
+                         oid pairs)
+                   (Ok ()) task.Task.outputs
+               in
+               (match commit_result with
+                | Error e -> fail_node id node (Gaea_error.to_string e)
+                | Ok () ->
+                  List.iter
+                    (fun (_, v) ->
+                      t.metrics.Metrics.pixels_processed <-
+                        t.metrics.Metrics.pixels_processed
+                        + Deriver.count_pixels v)
+                    pairs;
+                  let new_task =
+                    Provenance.record_task t.prov ~process:p.Process.proc_name
+                      ~version:p.Process.version ~inputs:task.Task.inputs
+                      ~params:p.Process.params ~outputs:task.Task.outputs
+                      ~output_class:p.Process.output_class
+                  in
+                  Deriver.admit t.deriver p ~inputs:task.Task.inputs ~cost
+                    new_task;
+                  List.iter
+                    (fun oid ->
+                      Hashtbl.remove t.dirty oid;
+                      Events.emit t.bus
+                        (Events.Object_refreshed
+                           { cls = p.Process.output_class; oid;
+                             task_id = new_task.Task.task_id }))
+                    task.Task.outputs;
+                  refreshed := !refreshed + List.length task.Task.outputs;
+                  new_tasks := new_task :: !new_tasks;
+                  Hashtbl.replace committed id ())))
+        ready
+  done;
+  { refreshed = !refreshed;
+    skipped = List.length !skip_reasons;
+    remaining = List.length (stale t);
+    tasks = List.rev !new_tasks;
+    skip_reasons = List.rev !skip_reasons }

@@ -1,0 +1,48 @@
+(** Incremental recomputation of stale derived objects.
+
+    Subscribes (as ["refresh"]) to the event bus and maintains the
+    per-object {e dirty set}: an object is stale iff it is live, has a
+    producing task, and a transitive input was updated or deleted, its
+    process was re-versioned, or an input class was mutated since that
+    task ran.  This is the one staleness definition shared with the
+    [gaea lint] GA033 check.
+
+    {!refresh} recomputes only the dirty subgraph, in topological
+    waves: evaluation runs on the domain pool when the ready frontier
+    can fill it, commits run strictly in producing-task order, so
+    results, provenance and event order match a full re-derivation at
+    any pool size.  Refreshed values replace the old objects {e in
+    place} (same OIDs); each refresh records a new provenance task and
+    re-admits the result to the bounded cache. *)
+
+module Oid = Gaea_storage.Oid
+
+type t
+
+val create :
+  objects:Obj_store.t
+  -> procs:Proc_registry.t
+  -> prov:Provenance.t
+  -> deriver:Deriver.t
+  -> metrics:Metrics.t
+  -> bus:Events.bus
+  -> t
+
+val stale : t -> Oid.t list
+(** The dirty set (live objects only), ascending. *)
+
+val is_stale : t -> Oid.t -> bool
+
+type report = {
+  refreshed : int;  (** objects recomputed in place *)
+  skipped : int;  (** stale objects left stale (see [skip_reasons]) *)
+  remaining : int;  (** dirty-set size after the run *)
+  tasks : Task.t list;  (** new provenance tasks, in commit order *)
+  skip_reasons : (Oid.t * string) list;
+}
+
+val refresh : ?only:Oid.t list -> t -> report
+(** Recompute stale objects ([only] restricts to the given targets
+    plus their stale upstream closure).  Objects whose process is not
+    in the registry (e.g. interpolation pseudo-tasks) or whose inputs
+    are gone are skipped and stay stale. *)

@@ -92,6 +92,10 @@ type statement =
   | Show_plan of string
   | Show_net
   | Show_events
+  | Show_stale
+  | Show_cache
+  | Refresh_all
+  | Refresh_object of { cls : string; oid : int }
   | Verify_object of int
   | Verify_task of int
   | Compare of int * int
@@ -120,6 +124,10 @@ let statement_to_string = function
   | Show_plan cls -> "SHOW PLAN " ^ cls
   | Show_net -> "SHOW NET"
   | Show_events -> "SHOW EVENTS"
+  | Show_stale -> "SHOW STALE"
+  | Show_cache -> "SHOW CACHE"
+  | Refresh_all -> "REFRESH ALL"
+  | Refresh_object { cls; oid } -> Printf.sprintf "REFRESH %s %d" cls oid
   | Verify_object oid -> Printf.sprintf "VERIFY %d" oid
   | Verify_task id -> Printf.sprintf "VERIFY TASK %d" id
   | Compare (a, b) -> Printf.sprintf "COMPARE %d %d" a b

@@ -94,6 +94,10 @@ type statement =
   | Show_plan of string
   | Show_net
   | Show_events
+  | Show_stale                         (** SHOW STALE: the dirty set *)
+  | Show_cache                         (** SHOW CACHE: bounded-cache stats *)
+  | Refresh_all                        (** REFRESH ALL *)
+  | Refresh_object of { cls : string; oid : int }  (** REFRESH <cls> <oid> *)
   | Verify_object of int
   | Verify_task of int
   | Compare of int * int

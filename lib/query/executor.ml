@@ -266,6 +266,20 @@ let outcome_message outcome =
        (List.map string_of_int outcome.Derivation.objects))
     (String.concat "\n" trace)
 
+let render_refresh (r : Kernel.refresh_report) =
+  let skipped =
+    match r.Kernel.skip_reasons with
+    | [] -> ""
+    | rs ->
+      "\nskipped:\n"
+      ^ String.concat "\n"
+          (List.map (fun (oid, why) -> Printf.sprintf "  #%d: %s" oid why) rs)
+  in
+  Printf.sprintf "refreshed %d object(s) (%d task(s)), %d left stale%s"
+    r.Kernel.refreshed
+    (List.length r.Kernel.tasks)
+    r.Kernel.remaining skipped
+
 let execute t stmt =
   match stmt with
   | Ast.Define_class { name; attrs; spatial; temporal; derived_by } ->
@@ -570,6 +584,55 @@ let execute t stmt =
       (Message
          (Gaea_analysis.Diagnostic.render
             (Gaea_analysis.Analysis.check_kernel t.kernel)))
+  | Ast.Show_stale ->
+    let stale = Kernel.stale_objects t.kernel in
+    let lines =
+      List.map
+        (fun oid ->
+          let cls =
+            Option.value ~default:"?" (Kernel.class_of_object t.kernel oid)
+          in
+          let by =
+            match Kernel.task_producing t.kernel oid with
+            | Some task ->
+              Printf.sprintf "%s v%d (task #%d)" task.Task.process
+                task.Task.process_version task.Task.task_id
+            | None -> "?"
+          in
+          Printf.sprintf "  #%d %s, derived by %s" oid cls by)
+        stale
+    in
+    Ok
+      (Message
+         (Printf.sprintf "%d stale object(s)%s" (List.length stale)
+            (match lines with
+             | [] -> ""
+             | _ -> ":\n" ^ String.concat "\n" lines)))
+  | Ast.Show_cache ->
+    let st = Kernel.cache_stats t.kernel in
+    Ok
+      (Message
+         (Printf.sprintf
+            "result cache: %d entry(ies), %d/%d bytes resident\n\
+             hits %d, misses %d, invalidations %d, admissions %d, evictions %d"
+            st.Kernel.entries st.Kernel.resident_bytes st.Kernel.budget_bytes
+            st.Kernel.hits st.Kernel.misses st.Kernel.invalidations
+            st.Kernel.admissions st.Kernel.evictions))
+  | Ast.Refresh_all ->
+    let r = Kernel.refresh_stale t.kernel in
+    Ok (Message (render_refresh r))
+  | Ast.Refresh_object { cls; oid } ->
+    (match Kernel.class_of_object t.kernel oid with
+     | None -> Error (Gaea_error.Unknown_object oid)
+     | Some actual when actual <> cls ->
+       Error (Gaea_error.Wrong_class { oid; cls })
+     | Some _ ->
+       if not (Kernel.object_stale t.kernel oid) then
+         Ok (Message (Printf.sprintf "object %d of %s is fresh" oid cls))
+       else begin
+         let r = Kernel.refresh_stale ~only:[ oid ] t.kernel in
+         Ok (Message (render_refresh r))
+       end)
 
 let format_response = function
   | Message m -> m

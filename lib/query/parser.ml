@@ -375,6 +375,8 @@ let statement st =
      | Lexer.Keyword "TASKS" -> Show_tasks
      | Lexer.Keyword "NET" -> Show_net
      | Lexer.Keyword "EVENTS" -> Show_events
+     | Lexer.Keyword "STALE" -> Show_stale
+     | Lexer.Keyword "CACHE" -> Show_cache
      | Lexer.Keyword "LINEAGE" -> Show_lineage (int_lit st)
      | Lexer.Keyword "PLAN" -> Show_plan (ident st)
      | Lexer.Keyword "VERSIONS" ->
@@ -398,6 +400,13 @@ let statement st =
     let e = ident st in
     Note { experiment = e; text = string_lit st }
   | Lexer.Keyword "REPRODUCE" -> Reproduce (ident st)
+  | Lexer.Keyword "REFRESH" ->
+    if accept_kw st "ALL" then Refresh_all
+    else begin
+      let cls = ident st in
+      let oid = int_lit st in
+      Refresh_object { cls; oid }
+    end
   | Lexer.Keyword "CHECK" ->
     if accept_kw st "ALL" then Check_all
     else begin

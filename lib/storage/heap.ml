@@ -51,6 +51,18 @@ let delete t oid =
       true
     end
 
+let replace t oid tuple =
+  match Hashtbl.find_opt t.by_oid oid with
+  | None -> Error (Printf.sprintf "heap: replace of unknown oid %d" oid)
+  | Some i ->
+    let s = slot t i in
+    if s.deleted then
+      Error (Printf.sprintf "heap: replace of deleted oid %d" oid)
+    else begin
+      t.slots.(i) <- Some { s with tuple };
+      Ok ()
+    end
+
 let get t oid =
   match Hashtbl.find_opt t.by_oid oid with
   | None -> None

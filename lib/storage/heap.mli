@@ -10,6 +10,12 @@ val insert : t -> Oid.t -> Tuple.t -> (unit, string) result
 val delete : t -> Oid.t -> bool
 (** True if the OID was live. *)
 
+val replace : t -> Oid.t -> Tuple.t -> (unit, string) result
+(** Overwrite a live tuple in its slot — same OID, same insertion
+    position.  Errors on an absent or tombstoned OID (a tombstone keeps
+    its slot, so delete-then-insert cannot reuse the OID; updates must
+    go through here). *)
+
 val get : t -> Oid.t -> Tuple.t option
 (** [None] when absent or deleted. *)
 

@@ -106,6 +106,20 @@ let insert t oid values =
   | Error e -> Error (t.name ^ ": " ^ e)
   | Ok tuple -> insert_tuple t oid tuple
 
+let replace t oid values =
+  match Tuple.make t.desc values with
+  | Error e -> Error (t.name ^ ": " ^ e)
+  | Ok tuple ->
+    (match Heap.get t.heap oid with
+     | None -> Error (Printf.sprintf "%s: replace of unknown oid %d" t.name oid)
+     | Some old ->
+       (match Heap.replace t.heap oid tuple with
+        | Error e -> Error (t.name ^ ": " ^ e)
+        | Ok () ->
+          unindex_tuple t oid old;
+          index_tuple t oid tuple;
+          Ok ()))
+
 let delete t oid =
   match Heap.get t.heap oid with
   | None -> false

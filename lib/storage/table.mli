@@ -25,6 +25,11 @@ val insert : t -> Oid.t -> Gaea_adt.Value.t list -> (unit, string) result
 (** Builds and type-checks a tuple, stores it, maintains indexes. *)
 
 val insert_tuple : t -> Oid.t -> Tuple.t -> (unit, string) result
+
+val replace : t -> Oid.t -> Gaea_adt.Value.t list -> (unit, string) result
+(** Overwrite a live row in place (same OID), re-maintaining indexes.
+    Errors on unknown/deleted OID or a tuple type mismatch. *)
+
 val delete : t -> Oid.t -> bool
 val get : t -> Oid.t -> Tuple.t option
 val get_attr : t -> Oid.t -> string -> Gaea_adt.Value.t option

@@ -119,7 +119,7 @@ let test_kernel_subscriber_order () =
   (* metrics must observe events before the caches react to them *)
   let k = Kernel.create () in
   Alcotest.(check (list string)) "fixed subscription order"
-    [ "metrics"; "net-cache"; "result-cache" ]
+    [ "metrics"; "net-cache"; "result-cache"; "refresh" ]
     (Events.subscribers (Kernel.bus k))
 
 let test_lifecycle_events_logged () =

@@ -1,0 +1,372 @@
+(* Tests for the incremental-recomputation subsystem: staleness marking
+   and its transitive propagation, targeted and full REFRESH, scheduler
+   determinism across pool sizes, the memory-bounded result cache, the
+   persistence of cache counters, and the GA033 staleness lint. *)
+
+open Gaea_core
+module Analysis = Gaea_analysis.Analysis
+module Diagnostic = Gaea_analysis.Diagnostic
+module Value = Gaea_adt.Value
+module Vtype = Gaea_adt.Vtype
+module Box = Gaea_geo.Box
+module Abstime = Gaea_geo.Abstime
+module Image = Gaea_raster.Image
+module Pixel = Gaea_raster.Pixel
+module Pool = Gaea_par.Pool
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let tc name f = Alcotest.test_case name `Quick f
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Gaea_error.to_string e)
+
+let events k = List.map snd (Kernel.event_log k)
+
+(* ------------------------------------------------------------------ *)
+(* Fixture: a three-level derivation chain behind one compound          *)
+(* ------------------------------------------------------------------ *)
+
+(* src --s1--> c1 --s2--> c2 --s3--> c3, wrapped in the compound
+   "chain3" so one execution produces all three levels.  Updating the
+   base image must stale every level transitively. *)
+let chain_kernel () =
+  let k = Kernel.create () in
+  let base_attrs =
+    [ ("data", Vtype.Image); ("spatialextent", Vtype.Box);
+      ("timestamp", Vtype.Abstime) ]
+  in
+  ok (Kernel.define_class k (ok (Schema.define ~name:"src" ~attributes:base_attrs ())));
+  List.iter
+    (fun (cls, proc) ->
+      ok
+        (Kernel.define_class k
+           (ok (Schema.define ~name:cls ~attributes:base_attrs ~derived_by:proc ()))))
+    [ ("c1", "s1"); ("c2", "s2"); ("c3", "chain3") ];
+  let open Template in
+  let prim name out arg_cls factor =
+    ok
+      (Kernel.define_process k
+         (ok
+            (Process.define_primitive ~name ~output_class:out
+               ~args:[ Process.scalar_arg "x" arg_cls ]
+               ~template:
+                 (make ~assertions:[]
+                    ~mappings:
+                      [ { target = "data";
+                          rhs =
+                            Apply
+                              ("img_scale",
+                               [ Const (Value.float factor); Attr_of ("x", "data") ]) };
+                        { target = "spatialextent"; rhs = Attr_of ("x", "spatialextent") };
+                        { target = "timestamp"; rhs = Attr_of ("x", "timestamp") } ])
+               ())))
+  in
+  prim "s1" "c1" "src" 2.;
+  prim "s2" "c2" "c1" 3.;
+  prim "s3" "c3" "c2" 5.;
+  let step proc bindings = { Process.step_process = proc; step_inputs = bindings } in
+  ok
+    (Kernel.define_process k
+       (ok
+          (Process.define_compound ~name:"chain3" ~output_class:"c3"
+             ~args:[ Process.scalar_arg "x" "src" ]
+             ~steps:
+               [ step "s1" [ ("x", Process.From_arg "x") ];
+                 step "s2" [ ("x", Process.From_step 0) ];
+                 step "s3" [ ("x", Process.From_step 1) ] ]
+             ())));
+  k
+
+let insert_src ?(vals = [| 1.; 2.; 3.; 4. |]) k =
+  ok
+    (Kernel.insert_object k ~cls:"src"
+       [ ("data", Value.image (Image.of_array ~nrow:2 ~ncol:2 Pixel.Float8 vals));
+         ("spatialextent", Value.box (Box.make ~xmin:0. ~ymin:0. ~xmax:1. ~ymax:1.));
+         ("timestamp", Value.abstime (Abstime.of_ymd 1986 1 1)) ])
+
+let derive_chain k oid =
+  let p = Option.get (Kernel.find_process k "chain3") in
+  ignore (ok (Kernel.execute_process k p ~inputs:[ ("x", [ oid ]) ]));
+  (* commit order: c1, c2, c3 *)
+  ( List.hd (Kernel.objects_of_class k "c1"),
+    List.hd (Kernel.objects_of_class k "c2"),
+    List.hd (Kernel.objects_of_class k "c3") )
+
+let update_src k oid vals =
+  ok
+    (Kernel.update_object k ~cls:"src" oid
+       [ ("data", Value.image (Image.of_array ~nrow:2 ~ncol:2 Pixel.Float8 vals)) ])
+
+let data_hash k cls oid =
+  match Kernel.object_attr k ~cls oid "data" with
+  | Some v -> Value.content_hash v
+  | None -> Alcotest.failf "object #%d of %s has no data" oid cls
+
+(* ------------------------------------------------------------------ *)
+(* Staleness propagation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_update_stales_transitively () =
+  let k = chain_kernel () in
+  let src = insert_src k in
+  let o1, o2, o3 = derive_chain k src in
+  Alcotest.(check (list int)) "nothing stale after derivation" []
+    (Kernel.stale_objects k);
+  update_src k src [| 10.; 20.; 30.; 40. |];
+  Alcotest.(check (list int)) "all three levels stale"
+    (List.sort compare [ o1; o2; o3 ])
+    (Kernel.stale_objects k);
+  check_bool "base object itself is not stale" false (Kernel.object_stale k src)
+
+let test_update_spares_unrelated () =
+  let k = chain_kernel () in
+  let a = insert_src k in
+  let b = insert_src ~vals:[| 5.; 6.; 7.; 8. |] k in
+  let _ = derive_chain k a in
+  Kernel.clear_cache k;
+  let p = Option.get (Kernel.find_process k "chain3") in
+  let _ = ok (Kernel.execute_process k p ~inputs:[ ("x", [ b ]) ]) in
+  update_src k a [| 9.; 9.; 9.; 9. |];
+  check_int "only a's chain is stale" 3 (List.length (Kernel.stale_objects k));
+  List.iter
+    (fun (t : Task.t) ->
+      if List.mem b (Task.input_oids t) then
+        List.iter
+          (fun o ->
+            check_bool "b's outputs stay fresh" false (Kernel.object_stale k o))
+          t.Task.outputs)
+    (Kernel.tasks k)
+
+let test_refresh_recomputes_in_place () =
+  let k = chain_kernel () in
+  let src = insert_src k in
+  let o1, o2, o3 = derive_chain k src in
+  let vals = [| 10.; 20.; 30.; 40. |] in
+  update_src k src vals;
+  let report = Kernel.refresh_stale k in
+  check_int "all three refreshed" 3 report.Kernel.refreshed;
+  check_int "none skipped" 0 report.Kernel.skipped;
+  check_int "dirty set drained" 0 report.Kernel.remaining;
+  Alcotest.(check (list int)) "stale set empty" [] (Kernel.stale_objects k);
+  (* same oids, values bit-identical to a cold derivation of the new data *)
+  let k2 = chain_kernel () in
+  let src2 = insert_src ~vals k2 in
+  let p1, p2, p3 = derive_chain k2 src2 in
+  List.iter2
+    (fun (cls, o) o' ->
+      check_int (cls ^ " matches cold derivation") (data_hash k2 cls o')
+        (data_hash k cls o))
+    [ ("c1", o1); ("c2", o2); ("c3", o3) ]
+    [ p1; p2; p3 ];
+  (* refresh recorded new provenance for every level *)
+  List.iter
+    (fun o ->
+      match Kernel.task_producing k o with
+      | None -> Alcotest.fail "refreshed object lost its producing task"
+      | Some (t : Task.t) ->
+        check_bool "producing task is one of the refresh tasks" true
+          (List.exists
+             (fun (r : Task.t) -> r.Task.task_id = t.Task.task_id)
+             report.Kernel.tasks))
+    [ o1; o2; o3 ]
+
+let test_targeted_refresh_pulls_upstream () =
+  let k = chain_kernel () in
+  let src = insert_src k in
+  let o1, o2, o3 = derive_chain k src in
+  update_src k src [| 2.; 4.; 6.; 8. |];
+  (* asking only for the leaf must refresh its stale ancestors too,
+     and leave nothing half-fresh *)
+  let report = Kernel.refresh_stale ~only:[ o3 ] k in
+  check_int "leaf plus its stale upstream" 3 report.Kernel.refreshed;
+  List.iter
+    (fun o -> check_bool "fresh afterwards" false (Kernel.object_stale k o))
+    [ o1; o2; o3 ]
+
+let test_refreshed_events_logged () =
+  let k = chain_kernel () in
+  let src = insert_src k in
+  let _ = derive_chain k src in
+  update_src k src [| 7.; 7.; 7.; 7. |];
+  let _ = Kernel.refresh_stale k in
+  let refreshed =
+    List.filter_map
+      (function Events.Object_refreshed { cls; _ } -> Some cls | _ -> None)
+      (events k)
+  in
+  Alcotest.(check (list string)) "one event per level, in commit order"
+    [ "c1"; "c2"; "c3" ] refreshed;
+  check_int "metrics counted them" 3 (Kernel.counters k).Kernel.refreshes
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across pool sizes                                        *)
+(* ------------------------------------------------------------------ *)
+
+let with_pool_size n f =
+  let saved = Pool.size () in
+  Pool.set_size n;
+  Pool.set_min_parallel_work (Some 0);
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.set_min_parallel_work None;
+      Pool.set_size saved)
+    f
+
+(* several independent chains make a multi-node ready frontier, so the
+   refresh scheduler really batches on the pool *)
+let run_refresh lanes =
+  with_pool_size lanes (fun () ->
+      let k = chain_kernel () in
+      let srcs =
+        List.init 4 (fun i ->
+            insert_src ~vals:[| float_of_int i; 2.; 3.; 4. |] k)
+      in
+      let p = Option.get (Kernel.find_process k "chain3") in
+      List.iter
+        (fun s -> ignore (ok (Kernel.execute_process k p ~inputs:[ ("x", [ s ]) ])))
+        srcs;
+      List.iter (fun s -> update_src k s [| 8.; 8.; 8.; 8. |]) srcs;
+      let report = Kernel.refresh_stale k in
+      ( report.Kernel.refreshed,
+        List.map
+          (fun (seq, ev) -> Printf.sprintf "%d %s" seq (Events.event_to_string ev))
+          (Kernel.event_log k),
+        List.map
+          (fun (t : Task.t) -> (t.Task.task_id, t.Task.process, t.Task.outputs))
+          (Kernel.tasks k),
+        List.map (fun (cls, os) -> List.map (data_hash k cls) os)
+          [ ("c1", Kernel.objects_of_class k "c1");
+            ("c2", Kernel.objects_of_class k "c2");
+            ("c3", Kernel.objects_of_class k "c3") ] ))
+
+let test_refresh_determinism () =
+  let (n1, log1, tasks1, values1) = run_refresh 1 in
+  check_int "all twelve objects refreshed" 12 n1;
+  List.iter
+    (fun lanes ->
+      let (n, log, tasks, values) = run_refresh lanes in
+      check_int (Printf.sprintf "same refresh count @%d" lanes) n1 n;
+      Alcotest.(check (list string))
+        (Printf.sprintf "event log identical @%d" lanes)
+        log1 log;
+      check_bool (Printf.sprintf "tasks identical @%d" lanes) true
+        (tasks = tasks1);
+      check_bool (Printf.sprintf "values identical @%d" lanes) true
+        (values = values1))
+    [ 2; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bounded, cost-aware result cache                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_respected () =
+  let k = chain_kernel () in
+  let budget = 600 in
+  Kernel.set_cache_budget k budget;
+  let p = Option.get (Kernel.find_process k "chain3") in
+  for i = 0 to 5 do
+    let src = insert_src ~vals:[| float_of_int i; 2.; 3.; 4. |] k in
+    let _ = ok (Kernel.execute_process k p ~inputs:[ ("x", [ src ]) ]) in
+    let st = Kernel.cache_stats k in
+    check_bool "resident never exceeds budget" true
+      (st.Kernel.resident_bytes <= budget);
+    check_int "budget reported" budget st.Kernel.budget_bytes
+  done;
+  let st = Kernel.cache_stats k in
+  check_bool "evictions happened" true (st.Kernel.evictions > 0);
+  check_bool "eviction events logged" true
+    (List.exists
+       (function Events.Cache_evicted { reason = "budget"; _ } -> true | _ -> false)
+       (events k));
+  check_int "metrics agree with stats" st.Kernel.evictions
+    (Kernel.counters k).Kernel.cache_evictions;
+  check_bool "admission events logged" true
+    (List.exists
+       (function Events.Cache_admitted _ -> true | _ -> false)
+       (events k))
+
+let test_budget_shrink_evicts () =
+  let k = chain_kernel () in
+  let src = insert_src k in
+  let _ = derive_chain k src in
+  let st = Kernel.cache_stats k in
+  check_bool "entries resident" true (st.Kernel.entries > 0);
+  Kernel.set_cache_budget k 1;
+  let st = Kernel.cache_stats k in
+  check_int "shrink evicted everything" 0 st.Kernel.entries;
+  check_bool "resident under new budget" true (st.Kernel.resident_bytes <= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Persistence of cache counters                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_stats_survive_persist () =
+  let k = chain_kernel () in
+  let src = insert_src k in
+  let p = Option.get (Kernel.find_process k "chain3") in
+  let _ = ok (Kernel.execute_process k p ~inputs:[ ("x", [ src ]) ]) in
+  let _ = ok (Kernel.execute_process k p ~inputs:[ ("x", [ src ]) ]) in
+  (* some invalidation traffic too *)
+  update_src k src [| 4.; 3.; 2.; 1. |];
+  let before = Kernel.cache_stats k in
+  check_bool "fixture produced hits" true (before.Kernel.hits > 0);
+  check_bool "fixture produced admissions" true (before.Kernel.admissions > 0);
+  check_bool "fixture produced invalidations" true
+    (before.Kernel.invalidations > 0);
+  let k2 = ok (Persist.load (Persist.save k)) in
+  let after = Kernel.cache_stats k2 in
+  check_int "hits survive" before.Kernel.hits after.Kernel.hits;
+  check_int "misses survive" before.Kernel.misses after.Kernel.misses;
+  check_int "invalidations survive" before.Kernel.invalidations
+    after.Kernel.invalidations;
+  check_int "admissions survive" before.Kernel.admissions after.Kernel.admissions;
+  check_int "evictions survive" before.Kernel.evictions after.Kernel.evictions;
+  (* restore is event-silent: the reloaded kernel has no dirty set even
+     though the saved one had a stale chain *)
+  Alcotest.(check (list int)) "loaded kernel starts fresh" []
+    (Kernel.stale_objects k2)
+
+(* ------------------------------------------------------------------ *)
+(* GA033: staleness lint                                                *)
+(* ------------------------------------------------------------------ *)
+
+let has_code code ds = List.exists (fun d -> d.Diagnostic.code = code) ds
+
+let test_ga033_flags_stale () =
+  let k = chain_kernel () in
+  let src = insert_src k in
+  let _ = derive_chain k src in
+  check_bool "fresh kernel has no GA033" false
+    (has_code "GA033" (Analysis.check_kernel k));
+  update_src k src [| 3.; 1.; 4.; 1. |];
+  let ds = List.filter (fun d -> d.Diagnostic.code = "GA033") (Analysis.check_kernel k) in
+  check_int "one GA033 per stale object" 3 (List.length ds);
+  List.iter
+    (fun d ->
+      check_bool "GA033 is informational" true
+        (d.Diagnostic.severity = Diagnostic.Info))
+    ds;
+  (* the lint and the refresh subsystem share one staleness definition *)
+  let _ = Kernel.refresh_stale k in
+  check_bool "GA033 clears after REFRESH" false
+    (has_code "GA033" (Analysis.check_kernel k))
+
+let () =
+  Alcotest.run "refresh"
+    [ ( "staleness",
+        [ tc "update stales the chain transitively" test_update_stales_transitively;
+          tc "unrelated pipelines stay fresh" test_update_spares_unrelated ] );
+      ( "refresh",
+        [ tc "recomputes stale subgraph in place" test_refresh_recomputes_in_place;
+          tc "targeted refresh pulls stale upstream" test_targeted_refresh_pulls_upstream;
+          tc "events and metrics" test_refreshed_events_logged;
+          tc "deterministic across pool sizes" test_refresh_determinism ] );
+      ( "bounded-cache",
+        [ tc "budget respected with evictions" test_budget_respected;
+          tc "shrinking the budget evicts" test_budget_shrink_evicts ] );
+      ( "persist",
+        [ tc "cache counters survive save/load" test_cache_stats_survive_persist ] );
+      ( "lint",
+        [ tc "GA033 flags stale derived objects" test_ga033_flags_stale ] ) ]
